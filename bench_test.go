@@ -1,0 +1,163 @@
+package polaris
+
+// One testing.B benchmark per evaluation figure of the paper (Section 7),
+// plus one per design-choice ablation from DESIGN.md. Each benchmark executes
+// the experiment through internal/bench and reports the figure's headline
+// numbers as custom metrics in *simulated* seconds (suffix "sims/..."):
+// shapes, not absolute values, are the comparison against the paper.
+// cmd/benchrunner prints the full per-row tables.
+
+import (
+	"testing"
+
+	"polaris/internal/bench"
+)
+
+// BenchmarkFig7IngestionScaling — Figure 7: lineitem load time at growing
+// scale factors under elastic resources. Expected shape: sub-linear time
+// growth; super-linear resource factor growth.
+func BenchmarkFig7IngestionScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.Fig7(0.2)
+		for _, r := range rows {
+			b.ReportMetric(r.LoadTime.Seconds(), "sims/load_"+r.Label)
+			b.ReportMetric(float64(r.ResourceFactor), "nodes_"+r.Label)
+		}
+	}
+}
+
+// BenchmarkFig8BoundedVsElastic — Figure 8: 1TB and 10TB proxy loads on a
+// fixed-capacity vs elastic topology. Expected shape: parity at 1TB, elastic
+// winning decisively at 10TB.
+func BenchmarkFig8BoundedVsElastic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.Fig8(0.2)
+		for _, r := range rows {
+			b.ReportMetric(r.BoundedTime.Seconds(), "sims/bounded_"+r.Label)
+			b.ReportMetric(r.ElasticTime.Seconds(), "sims/elastic_"+r.Label)
+		}
+	}
+}
+
+// BenchmarkFig9QueryPerformance — Figure 9: TPC-H 22-query power run,
+// isolated vs with a concurrent uncommitted load into the same tables.
+// Expected shape: near-parity (WLM separation + SI + warm immutable caches).
+func BenchmarkFig9QueryPerformance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.Fig9(0.1)
+		var iso, conc float64
+		for _, r := range rows {
+			iso += r.Isolated.Seconds()
+			conc += r.Concurrent.Seconds()
+		}
+		b.ReportMetric(iso, "sims/isolated_total")
+		b.ReportMetric(conc, "sims/concurrent_total")
+		b.ReportMetric(conc/iso, "slowdown_ratio")
+	}
+}
+
+// BenchmarkFig10CompactionHealth — Figure 10: WP1 SU/DM alternation with
+// autonomous compaction. Expected shape: DM flips tables red, compaction
+// returns them green by the next SU phase.
+func BenchmarkFig10CompactionHealth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := bench.Fig10(0.2)
+		red := 0
+		for _, s := range res.Timeline {
+			if !s.Healthy {
+				red++
+			}
+		}
+		b.ReportMetric(float64(len(res.Timeline)), "samples")
+		b.ReportMetric(float64(red), "red_samples")
+		b.ReportMetric(float64(res.Compactions), "compactions")
+	}
+}
+
+// BenchmarkFig11CheckpointLifetimes — Figure 11: WP1 longevity; each DM phase
+// creates exactly 10 manifests per table, minting one checkpoint per table
+// per phase.
+func BenchmarkFig11CheckpointLifetimes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.Fig11(0.2)
+		perTable := map[string]int{}
+		folded := 0
+		for _, r := range rows {
+			perTable[r.Table]++
+			folded += r.Folded
+		}
+		b.ReportMetric(float64(len(rows)), "checkpoints")
+		b.ReportMetric(float64(len(perTable)), "tables")
+		if len(rows) > 0 {
+			b.ReportMetric(float64(folded)/float64(len(rows)), "manifests_per_checkpoint")
+		}
+	}
+}
+
+// BenchmarkFig12ReadWriteConcurrency — Figure 12: WP3 phases; SU with
+// concurrent DM or Optimize runs longer than isolated SU.
+func BenchmarkFig12ReadWriteConcurrency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.Fig12(0.2)
+		for _, r := range rows {
+			b.ReportMetric(r.SUTime.Seconds(), "sims/"+r.Phase)
+		}
+	}
+}
+
+// BenchmarkAblationConflictGranularity — DESIGN.md ablation 1: committed
+// transactions out of N concurrent disjoint-file updaters, table vs file
+// granularity (paper 4.4.1).
+func BenchmarkAblationConflictGranularity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.AblationConflictGranularity(6)
+		for _, r := range rows {
+			b.ReportMetric(r.Value, "committed_"+r.Config)
+		}
+	}
+}
+
+// BenchmarkAblationCheckpointThreshold — DESIGN.md ablation 3: cold snapshot
+// reconstruction cost vs checkpoint frequency (paper 5.2).
+func BenchmarkAblationCheckpointThreshold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.AblationCheckpointThreshold(29, []int{0, 10, 5})
+		for _, r := range rows {
+			b.ReportMetric(r.SimTime.Seconds(), "sims/"+r.Config)
+		}
+	}
+}
+
+// BenchmarkAblationCompaction — DESIGN.md ablation 4: read amplification on
+// a heavily deleted table, fragmented vs compacted (paper 5.1).
+func BenchmarkAblationCompaction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.AblationCompaction()
+		for _, r := range rows {
+			b.ReportMetric(r.Value, "rows_scanned_"+r.Config)
+		}
+	}
+}
+
+// BenchmarkAblationCoWvsMoR — DESIGN.md ablation 5: write amplification of
+// trickle deletes and read amplification of subsequent scans under
+// copy-on-write vs merge-on-read (paper 2.1).
+func BenchmarkAblationCoWvsMoR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.AblationCoWvsMoR()
+		for _, r := range rows {
+			b.ReportMetric(r.Value, r.Config+"_"+r.Metric)
+		}
+	}
+}
+
+// BenchmarkAblationWLM — DESIGN.md ablation 6: read-task completion with
+// shared vs separated node pools under heavy writes (paper 4.3).
+func BenchmarkAblationWLM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.AblationWLM()
+		for _, r := range rows {
+			b.ReportMetric(r.SimTime.Seconds(), "sims/"+r.Config)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Command polaris-cli is an interactive SQL shell over a fresh in-process
+// Polaris database. It supports the full T-SQL subset of the engine —
+// DDL, DML, queries, BEGIN/COMMIT/ROLLBACK, AS OF time travel, CLONE,
+// RESTORE, SHOW, COMPACT, CHECKPOINT and VACUUM — plus a few \-commands.
+//
+// Usage:
+//
+//	polaris-cli                 # interactive shell
+//	polaris-cli -e 'SELECT 1'   # run statements and exit
+//	polaris-cli -demo           # preload the TPC-H demo dataset (SF 0.1)
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"polaris"
+	"polaris/internal/workload"
+)
+
+func main() {
+	exec := flag.String("e", "", "execute the given semicolon-separated statements and exit")
+	demo := flag.Bool("demo", false, "preload TPC-H tables at scale factor 0.1")
+	flag.Parse()
+
+	db := polaris.Open(polaris.DefaultConfig())
+	defer db.Close()
+
+	if *demo {
+		fmt.Fprint(os.Stderr, "loading TPC-H SF 0.1 ... ")
+		n, err := workload.LoadTPCH(db.Engine(), 0.1, 4)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "load failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "done (%d lineitem rows)\n", n)
+	}
+
+	sess := db.Session()
+	defer sess.Close()
+
+	if *exec != "" {
+		for _, stmt := range splitStatements(*exec) {
+			if !runOne(sess, stmt) {
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	fmt.Println("polaris-cli — type SQL ending with ';', or \\help")
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if sess.InTransaction() {
+			fmt.Print("polaris*> ")
+		} else {
+			fmt.Print("polaris> ")
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if !metaCommand(sess, trimmed) {
+				return
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		if strings.HasSuffix(trimmed, ";") {
+			stmtText := buf.String()
+			buf.Reset()
+			for _, stmt := range splitStatements(stmtText) {
+				runOne(sess, stmt)
+			}
+		}
+		prompt()
+	}
+}
+
+func splitStatements(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ";") {
+		if strings.TrimSpace(part) != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func metaCommand(sess *polaris.Session, cmd string) bool {
+	switch strings.Fields(cmd)[0] {
+	case "\\q", "\\quit", "\\exit":
+		return false
+	case "\\help":
+		fmt.Println(`statements: SELECT / INSERT / UPDATE / DELETE / CREATE TABLE / DROP TABLE
+            BEGIN / COMMIT / ROLLBACK
+            SELECT ... FROM t AS OF <seq>     (time travel)
+            CLONE TABLE src TO dst [AS OF n]  (zero-copy clone)
+            RESTORE TABLE t AS OF n
+            SHOW TABLES | SHOW STATS t
+            COMPACT TABLE t | CHECKPOINT TABLE t | VACUUM
+meta:       \q quit, \help this text`)
+	default:
+		fmt.Printf("unknown command %s (try \\help)\n", cmd)
+	}
+	return true
+}
+
+func runOne(sess *polaris.Session, stmt string) bool {
+	rows, err := sess.Exec(stmt)
+	if err != nil {
+		fmt.Printf("error: %v\n", err)
+		return false
+	}
+	switch {
+	case rows.Len() > 0 || len(rows.Columns()) > 0:
+		printRows(rows)
+		fmt.Printf("(%d rows, sim %v)\n", rows.Len(), rows.SimTime())
+	case rows.Message() != "":
+		fmt.Println(rows.Message())
+	default:
+		fmt.Printf("OK, %d rows affected (sim %v)\n", rows.RowsAffected(), rows.SimTime())
+	}
+	return true
+}
+
+func printRows(rows *polaris.Rows) {
+	cols := rows.Columns()
+	widths := make([]int, len(cols))
+	for i, c := range cols {
+		widths[i] = len(c)
+	}
+	const maxPrint = 50
+	n := rows.Len()
+	if n > maxPrint {
+		n = maxPrint
+	}
+	cells := make([][]string, n)
+	for r := 0; r < n; r++ {
+		row := rows.Row(r)
+		cells[r] = make([]string, len(cols))
+		for c := range cols {
+			cells[r][c] = fmt.Sprintf("%v", row[c])
+			if len(cells[r][c]) > widths[c] {
+				widths[c] = len(cells[r][c])
+			}
+		}
+	}
+	line := func(parts []string) {
+		for i, p := range parts {
+			fmt.Printf("| %-*s ", widths[i], p)
+		}
+		fmt.Println("|")
+	}
+	line(cols)
+	var sep []string
+	for _, w := range widths {
+		sep = append(sep, strings.Repeat("-", w))
+	}
+	line(sep)
+	for _, row := range cells {
+		line(row)
+	}
+	if rows.Len() > maxPrint {
+		fmt.Printf("... %d more rows\n", rows.Len()-maxPrint)
+	}
+}

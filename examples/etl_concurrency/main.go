@@ -1,0 +1,81 @@
+// ETL concurrency: the paper's introductory scenario (and Fig. 9 experiment)
+// — a long-running ingestion transaction loads data into the warehouse while
+// a reporting session queries the same tables. Snapshot Isolation keeps every
+// report consistent, reads are never blocked, and workload management places
+// the load on write nodes away from the reporting queries.
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"polaris"
+	"polaris/internal/workload"
+)
+
+func main() {
+	db := polaris.Open(polaris.DefaultConfig())
+	defer db.Close()
+
+	// Initial warehouse state: TPC-H at a small scale factor.
+	if _, err := workload.LoadTPCH(db.Engine(), 0.1, 4); err != nil {
+		panic(err)
+	}
+	base := db.MustExec(`SELECT COUNT(*) AS n FROM lineitem`)
+	fmt.Printf("warehouse loaded: %v lineitem rows\n\n", base.Value(0, 0))
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// ETL: one long transaction trickling batches in, committing at the end.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tx := db.Engine().Begin()
+		var loaded int64
+		for chunk := int64(0); chunk < 20; chunk++ {
+			lo := 50_000_000 + chunk*500
+			n, err := tx.Insert("lineitem", workload.LineitemBatch(lo, lo+500))
+			if err != nil {
+				tx.Rollback()
+				panic(err)
+			}
+			loaded += n
+		}
+		if err := tx.Commit(); err != nil {
+			panic(err)
+		}
+		fmt.Printf("[etl] committed %d new rows in one transaction\n", loaded)
+		close(stop)
+	}()
+
+	// Reporting: keeps querying while the load runs. Every result is a
+	// consistent snapshot; counts only change when the ETL commit lands.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sess := db.Session()
+		defer sess.Close()
+		var last int64 = -1
+		for i := 0; ; i++ {
+			r, err := sess.Exec(`SELECT COUNT(*) AS n, SUM(l_extendedprice) AS rev FROM lineitem`)
+			if err != nil {
+				panic(err)
+			}
+			n := r.Value(0, 0).(int64)
+			if n != last {
+				fmt.Printf("[report] consistent snapshot: rows=%d (sim %v)\n", n, r.SimTime())
+				last = n
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+
+	wg.Wait()
+	final := db.MustExec(`SELECT COUNT(*) AS n FROM lineitem`)
+	fmt.Printf("\nfinal count: %v — reporting never observed a partial load\n", final.Value(0, 0))
+}

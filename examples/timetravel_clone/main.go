@@ -1,0 +1,62 @@
+// Time travel, cloning and restore (paper Section 6): log-structured tables
+// keep every version of the data, so querying the past, cloning a table as of
+// a point in time, and restoring after a bad write are metadata-only
+// operations — no data is copied.
+package main
+
+import (
+	"fmt"
+
+	"polaris"
+)
+
+func main() {
+	db := polaris.Open(polaris.DefaultConfig())
+	defer db.Close()
+
+	db.MustExec(`CREATE TABLE accounts (id INT, owner VARCHAR, balance FLOAT)
+		WITH (DISTRIBUTION = id, SORTCOL = id)`)
+	db.MustExec(`INSERT INTO accounts VALUES
+		(1, 'ada', 100.0), (2, 'bob', 250.0), (3, 'cyd', 75.0)`)
+
+	// Remember where we are: the commit sequence is the time-travel handle.
+	seq := db.MustExec(`SHOW STATS accounts`).Value(0, 6).(int64)
+	fmt.Printf("checkpoint in history: sequence %d\n\n", seq)
+
+	// A batch job goes wrong and wipes balances.
+	db.MustExec(`UPDATE accounts SET balance = 0.0 WHERE balance > 0.0`)
+	now := db.MustExec(`SELECT SUM(balance) AS total FROM accounts`)
+	fmt.Printf("after the bad batch job: total balance = %v\n", now.Value(0, 0))
+
+	// Query As Of (6.1): the pre-incident data is still there.
+	was := db.MustExec(fmt.Sprintf(
+		`SELECT SUM(balance) AS total FROM accounts AS OF %d`, seq))
+	fmt.Printf("time-traveled total (AS OF %d) = %v\n\n", seq, was.Value(0, 0))
+
+	// Clone As Of (6.2): a zero-copy fork of the pre-incident state for the
+	// incident review — no data files are duplicated.
+	db.MustExec(fmt.Sprintf(`CLONE TABLE accounts TO accounts_forensics AS OF %d`, seq))
+	fc := db.MustExec(`SELECT COUNT(*) AS n, SUM(balance) AS total FROM accounts_forensics`)
+	fmt.Printf("forensics clone: rows=%v total=%v\n", fc.Value(0, 0), fc.Value(0, 1))
+
+	// Clones evolve independently.
+	db.MustExec(`INSERT INTO accounts_forensics VALUES (99, 'aud', 1.0)`)
+	src := db.MustExec(`SELECT COUNT(*) AS n FROM accounts`)
+	fmt.Printf("source table rows after clone write: %v (unchanged)\n\n", src.Value(0, 0))
+
+	// Restore (6.3): rewind the production table — metadata-only.
+	db.MustExec(fmt.Sprintf(`RESTORE TABLE accounts AS OF %d`, seq))
+	restored := db.MustExec(`SELECT SUM(balance) AS total FROM accounts`)
+	fmt.Printf("restored total balance = %v\n", restored.Value(0, 0))
+
+	// Garbage collection reclaims the now-unreferenced post-incident files,
+	// honoring clone lineage (the forensics clone keeps its shared files).
+	gc, err := db.GarbageCollect()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nGC: scanned=%d deleted_data=%d orphans=%d retained=%d\n",
+		gc.Scanned, gc.DeletedData, gc.DeletedOrphans, gc.Retained)
+	again := db.MustExec(`SELECT COUNT(*) AS n FROM accounts_forensics`)
+	fmt.Printf("clone still intact after GC: rows=%v\n", again.Value(0, 0))
+}

@@ -1,0 +1,275 @@
+package polaris
+
+// Integration tests: end-to-end scenarios through the public API, including a
+// model-based randomized test that checks the engine against an in-memory
+// reference model across committed operations, time-travel reads, clones,
+// restores and maintenance.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"polaris/internal/workload"
+)
+
+func TestEndToEndTPCHThroughSQL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	db := Open(smallConfig())
+	defer db.Close()
+	if _, err := workload.LoadTPCH(db.Engine(), 0.1, 4); err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range workload.THQueries() {
+		rows, err := db.Query(q)
+		if err != nil {
+			t.Fatalf("Q%d: %v", i+1, err)
+		}
+		if rows.SimTime() <= 0 {
+			t.Fatalf("Q%d reported no simulated time", i+1)
+		}
+	}
+	// Q1 must be stable across repeated runs (determinism).
+	a, _ := db.Query(workload.THQueries()[0])
+	b, _ := db.Query(workload.THQueries()[0])
+	if a.Len() != b.Len() {
+		t.Fatalf("Q1 row counts differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		if fmt.Sprint(a.Row(i)) != fmt.Sprint(b.Row(i)) {
+			t.Fatalf("Q1 row %d differs across runs", i)
+		}
+	}
+}
+
+// refModel is the reference: committed table contents keyed by row id, with
+// full version history per commit sequence.
+type refModel struct {
+	// history[seq] = state of the table after that commit
+	history map[int64]map[int64]int64 // seq -> (id -> val)
+	current map[int64]int64
+	seqs    []int64
+}
+
+func newRefModel() *refModel {
+	return &refModel{history: map[int64]map[int64]int64{}, current: map[int64]int64{}}
+}
+
+func (m *refModel) commit(seq int64) {
+	snap := make(map[int64]int64, len(m.current))
+	for k, v := range m.current {
+		snap[k] = v
+	}
+	m.history[seq] = snap
+	m.seqs = append(m.seqs, seq)
+}
+
+// stateAt returns the reference contents as of a commit sequence.
+func (m *refModel) stateAt(seq int64) map[int64]int64 {
+	var best int64 = -1
+	for _, s := range m.seqs {
+		if s <= seq && s > best {
+			best = s
+		}
+	}
+	if best < 0 {
+		return map[int64]int64{}
+	}
+	return m.history[best]
+}
+
+func TestModelBasedRandomOperations(t *testing.T) {
+	db := Open(smallConfig())
+	defer db.Close()
+	db.MustExec(`CREATE TABLE m (id INT, val INT) WITH (DISTRIBUTION = id, SORTCOL = id)`)
+	model := newRefModel()
+	rng := rand.New(rand.NewSource(20260613))
+	nextID := int64(0)
+
+	verify := func(tag string, got *Rows, want map[int64]int64) {
+		t.Helper()
+		if got.Len() != len(want) {
+			t.Fatalf("%s: %d rows, want %d", tag, got.Len(), len(want))
+		}
+		for i := 0; i < got.Len(); i++ {
+			id := got.Value(i, 0).(int64)
+			val := got.Value(i, 1).(int64)
+			if w, ok := want[id]; !ok || w != val {
+				t.Fatalf("%s: row (%d,%d) not in reference (want val %d)", tag, id, val, want[id])
+			}
+		}
+	}
+
+	const ops = 60
+	for op := 0; op < ops; op++ {
+		switch k := rng.Intn(10); {
+		case k < 4: // insert a few rows
+			n := rng.Intn(5) + 1
+			var values []string
+			for i := 0; i < n; i++ {
+				id := nextID
+				nextID++
+				val := rng.Int63n(1000)
+				values = append(values, fmt.Sprintf("(%d, %d)", id, val))
+				model.current[id] = val
+			}
+			db.MustExec(`INSERT INTO m VALUES ` + strings.Join(values, ", "))
+			model.commit(db.Engine().Catalog.CurrentSeq())
+		case k < 6: // delete by predicate
+			mod := rng.Int63n(7) + 2
+			res := rng.Int63n(mod)
+			r := db.MustExec(fmt.Sprintf(`DELETE FROM m WHERE id %% %d = %d`, mod, res))
+			expected := int64(0)
+			for id := range model.current {
+				if id%mod == res {
+					delete(model.current, id)
+					expected++
+				}
+			}
+			if r.RowsAffected() != expected {
+				t.Fatalf("op %d: deleted %d, reference %d", op, r.RowsAffected(), expected)
+			}
+			if expected > 0 {
+				model.commit(db.Engine().Catalog.CurrentSeq())
+			}
+		case k < 8: // update by predicate
+			threshold := rng.Int63n(nextID + 1)
+			r := db.MustExec(fmt.Sprintf(`UPDATE m SET val = val + 1 WHERE id >= %d`, threshold))
+			expected := int64(0)
+			for id := range model.current {
+				if id >= threshold {
+					model.current[id]++
+					expected++
+				}
+			}
+			if r.RowsAffected() != expected {
+				t.Fatalf("op %d: updated %d, reference %d", op, r.RowsAffected(), expected)
+			}
+			if expected > 0 {
+				model.commit(db.Engine().Catalog.CurrentSeq())
+			}
+		case k < 9: // maintenance: compaction or checkpoint never change data
+			if rng.Intn(2) == 0 {
+				db.MustExec(`COMPACT TABLE m`)
+			} else {
+				db.MustExec(`CHECKPOINT TABLE m`)
+			}
+		default: // time-travel read against a historical reference snapshot
+			if len(model.seqs) == 0 {
+				continue
+			}
+			seq := model.seqs[rng.Intn(len(model.seqs))]
+			got := db.MustExec(fmt.Sprintf(`SELECT id, val FROM m AS OF %d`, seq))
+			verify(fmt.Sprintf("op %d as-of %d", op, seq), got, model.stateAt(seq))
+		}
+		// current-state check every few ops
+		if op%7 == 0 {
+			got := db.MustExec(`SELECT id, val FROM m`)
+			verify(fmt.Sprintf("op %d current", op), got, model.current)
+		}
+	}
+
+	// Final checks: current state, a clone of a historic state, GC safety.
+	got := db.MustExec(`SELECT id, val FROM m`)
+	verify("final", got, model.current)
+
+	if len(model.seqs) > 2 {
+		seq := model.seqs[len(model.seqs)/2]
+		db.MustExec(fmt.Sprintf(`CLONE TABLE m TO m_clone AS OF %d`, seq))
+		cl := db.MustExec(`SELECT id, val FROM m_clone`)
+		verify("clone", cl, model.stateAt(seq))
+
+		if _, err := db.GarbageCollect(); err != nil {
+			t.Fatal(err)
+		}
+		cl2 := db.MustExec(`SELECT id, val FROM m_clone`)
+		verify("clone after GC", cl2, model.stateAt(seq))
+		got2 := db.MustExec(`SELECT id, val FROM m`)
+		verify("current after GC", got2, model.current)
+	}
+}
+
+func TestConcurrentSessionsStress(t *testing.T) {
+	db := Open(smallConfig())
+	defer db.Close()
+	db.MustExec(`CREATE TABLE s (id INT, v INT) WITH (DISTRIBUTION = id)`)
+
+	// Many writers inserting disjoint key ranges concurrently (insert-only:
+	// no conflicts possible), plus readers validating counts monotonicity.
+	const writers = 6
+	const perWriter = 5
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			sess := db.Session()
+			defer sess.Close()
+			for i := 0; i < perWriter; i++ {
+				id := w*1000 + i
+				if _, err := sess.Exec(fmt.Sprintf(`INSERT INTO s VALUES (%d, %d)`, id, id)); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	for w := 0; w < writers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := db.MustExec(`SELECT COUNT(*) AS n FROM s`)
+	if got.Value(0, 0) != int64(writers*perWriter) {
+		t.Fatalf("count = %v, want %d", got.Value(0, 0), writers*perWriter)
+	}
+}
+
+func TestRestoreDatabaseThroughFacade(t *testing.T) {
+	db := Open(smallConfig())
+	defer db.Close()
+	db.MustExec(`CREATE TABLE keep (id INT)`)
+	db.MustExec(`INSERT INTO keep VALUES (1)`)
+	mark := db.Engine().BackupMark()
+	db.MustExec(`INSERT INTO keep VALUES (2)`)
+	db.MustExec(`CREATE TABLE ephemeral (id INT)`)
+	db.MustExec(`INSERT INTO ephemeral VALUES (9)`)
+	if err := db.Engine().RestoreDatabase(mark); err != nil {
+		t.Fatal(err)
+	}
+	got := db.MustExec(`SELECT COUNT(*) AS n FROM keep`)
+	if got.Value(0, 0) != int64(1) {
+		t.Fatalf("keep count = %v", got.Value(0, 0))
+	}
+	if _, err := db.Query(`SELECT COUNT(*) AS n FROM ephemeral`); err == nil {
+		t.Fatal("ephemeral table survived database restore")
+	}
+}
+
+func TestSerializableModeBlocksWriteSkew(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Isolation = "serializable"
+	db := Open(cfg)
+	defer db.Close()
+	db.MustExec(`CREATE TABLE w (k VARCHAR, v INT) WITH (DISTRIBUTION = k)`)
+	db.MustExec(`INSERT INTO w VALUES ('a', 0), ('b', 0)`)
+
+	// classic write skew: T1 reads a writes b; T2 reads b writes a
+	t1 := db.Session()
+	t2 := db.Session()
+	defer t1.Close()
+	defer t2.Close()
+	t1.MustExec(`BEGIN`)
+	t2.MustExec(`BEGIN`)
+	t1.MustExec(`SELECT v FROM w WHERE k = 'a'`)
+	t2.MustExec(`SELECT v FROM w WHERE k = 'b'`)
+	t1.MustExec(`UPDATE w SET v = 1 WHERE k = 'b'`)
+	t2.MustExec(`UPDATE w SET v = 1 WHERE k = 'a'`)
+	_, e1 := t1.Exec(`COMMIT`)
+	_, e2 := t2.Exec(`COMMIT`)
+	if e1 == nil && e2 == nil {
+		t.Fatal("serializable mode allowed write skew")
+	}
+}

@@ -1,0 +1,72 @@
+package bench
+
+import "testing"
+
+func TestAblationConflictGranularity(t *testing.T) {
+	rows := AblationConflictGranularity(4)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	table, file := rows[0], rows[1]
+	if table.Value != 1 {
+		t.Fatalf("table granularity committed %v writers, want exactly 1", table.Value)
+	}
+	if file.Value <= table.Value {
+		t.Fatalf("file granularity (%v) not better than table (%v)", file.Value, table.Value)
+	}
+}
+
+func TestAblationCheckpointThreshold(t *testing.T) {
+	// 29 commits leave different replay tails: none=29, every-10=9, every-5=4.
+	rows := AblationCheckpointThreshold(29, []int{0, 10, 5})
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	none, ten, five := rows[0], rows[1], rows[2]
+	if none.SimTime <= ten.SimTime {
+		t.Fatalf("no-checkpoint (%v) should be costlier than every-10 (%v)", none.SimTime, ten.SimTime)
+	}
+	if ten.SimTime <= five.SimTime {
+		t.Fatalf("every-10 (%v) should be costlier than every-5 (%v) on replay", ten.SimTime, five.SimTime)
+	}
+}
+
+func TestAblationCompaction(t *testing.T) {
+	rows := AblationCompaction()
+	frag, comp := rows[0], rows[1]
+	// Compaction physically removes deleted rows, cutting read amplification.
+	if comp.Value >= frag.Value {
+		t.Fatalf("compacted scan reads %v rows, fragmented %v — no improvement", comp.Value, frag.Value)
+	}
+}
+
+func TestAblationCoWvsMoR(t *testing.T) {
+	rows := AblationCoWvsMoR()
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byKey := map[string]AblationRow{}
+	for _, r := range rows {
+		byKey[r.Config+"/"+r.Metric] = r
+	}
+	// The paper's rationale for MoR: trickle deletes write tiny deletion
+	// vectors instead of rewriting the file (write amplification).
+	mor := byKey["merge-on-read/delete_bytes_written"].Value
+	cow := byKey["copy-on-write/delete_bytes_written"].Value
+	if mor*4 >= cow {
+		t.Fatalf("MoR delete wrote %v bytes, CoW %v — expected CoW >> MoR", mor, cow)
+	}
+	// CoW's payoff: subsequent scans read only live rows.
+	if byKey["copy-on-write/scan_rows_after"].Value >= byKey["merge-on-read/scan_rows_after"].Value {
+		t.Fatalf("CoW scan reads %v rows, MoR %v — expected CoW < MoR",
+			byKey["copy-on-write/scan_rows_after"].Value, byKey["merge-on-read/scan_rows_after"].Value)
+	}
+}
+
+func TestAblationWLM(t *testing.T) {
+	rows := AblationWLM()
+	sep, shared := rows[0], rows[1]
+	if sep.SimTime > shared.SimTime {
+		t.Fatalf("separated reads (%v) slower than shared (%v) under load", sep.SimTime, shared.SimTime)
+	}
+}

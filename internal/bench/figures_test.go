@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// These tests assert the *shapes* the paper reports for each figure at a tiny
+// scale; the root benchmarks re-run them at measurement scale.
+
+func TestFig7SubLinearScaling(t *testing.T) {
+	rows := Fig7(0.2)
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Load time grows sub-linearly: time(next)/time(prev) << 10 for the
+	// larger scales where parallelism is available.
+	for i := 1; i < len(rows); i++ {
+		ratio := float64(rows[i].LoadTime) / float64(rows[i-1].LoadTime)
+		if ratio >= 10 {
+			t.Fatalf("scale %s: time ratio %.1f not sub-linear (times: %v -> %v)",
+				rows[i].Label, ratio, rows[i-1].LoadTime, rows[i].LoadTime)
+		}
+	}
+	// Resource factor grows with scale.
+	if rows[4].ResourceFactor <= rows[1].ResourceFactor {
+		t.Fatalf("resources did not grow: %+v", rows)
+	}
+}
+
+func TestFig8ElasticBeatsBoundedAtScale(t *testing.T) {
+	rows := Fig8(0.2)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	small, big := rows[0], rows[1]
+	// At the 1TB proxy scale the bounded topology is adequate: roughly equal.
+	r := float64(small.BoundedTime) / float64(small.ElasticTime)
+	if r > 2.0 || r < 0.5 {
+		t.Fatalf("1TB bounded/elastic = %.2f, want ~1", r)
+	}
+	// At 10TB the bounded topology is capped: elastic clearly wins.
+	if big.BoundedTime <= big.ElasticTime {
+		t.Fatalf("10TB bounded (%v) not slower than elastic (%v)", big.BoundedTime, big.ElasticTime)
+	}
+	gain := float64(big.BoundedTime) / float64(big.ElasticTime)
+	if gain < 1.5 {
+		t.Fatalf("10TB elastic gain = %.2f, want >= 1.5", gain)
+	}
+	if big.ElasticRes <= big.BoundedRes {
+		t.Fatalf("elastic did not use more resources: %+v", big)
+	}
+}
+
+func TestFig9ConcurrentLoadBarelyAffectsQueries(t *testing.T) {
+	rows := Fig9(0.1)
+	if len(rows) != 22 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var iso, conc time.Duration
+	for _, r := range rows {
+		if r.Isolated <= 0 {
+			t.Fatalf("Q%d isolated time zero", r.Query)
+		}
+		iso += r.Isolated
+		conc += r.Concurrent
+	}
+	// Paper: results hold even with concurrent load; allow modest overhead.
+	ratio := float64(conc) / float64(iso)
+	if ratio > 1.6 {
+		t.Fatalf("concurrent/isolated = %.2f, want near 1", ratio)
+	}
+}
+
+func TestFig10CompactionRestoresGreen(t *testing.T) {
+	res := Fig10(0.2)
+	if len(res.Timeline) == 0 {
+		t.Fatal("no timeline")
+	}
+	sawRed := false
+	for _, s := range res.Timeline {
+		if !s.Healthy {
+			sawRed = true
+		}
+	}
+	if !sawRed {
+		t.Fatal("DM never degraded storage health; thresholds miscalibrated")
+	}
+	if res.Compactions == 0 {
+		t.Fatal("no compactions ran")
+	}
+	// final SU sample: all tables green again
+	last := res.Timeline[len(res.Timeline)-1].Phase
+	for _, s := range res.Timeline {
+		if s.Phase == last && !s.Healthy {
+			t.Fatalf("table %s still unhealthy at %s", s.Table, s.Phase)
+		}
+	}
+}
+
+func TestFig11OneCheckpointPerTablePerPhase(t *testing.T) {
+	rows := Fig11(0.2)
+	perTable := map[string]int{}
+	for _, r := range rows {
+		perTable[r.Table]++
+		if r.Folded != 10 {
+			t.Fatalf("checkpoint folded %d manifests, want 10 (paper: each DM phase creates 10 new manifest files)", r.Folded)
+		}
+	}
+	if len(perTable) != 7 {
+		t.Fatalf("tables checkpointed = %d, want 7", len(perTable))
+	}
+	for tbl, n := range perTable {
+		if n != 3 { // 3 phases
+			t.Fatalf("%s has %d checkpoints, want 3", tbl, n)
+		}
+	}
+	// all but the newest checkpoint per table must have closed lifetimes
+	open := map[string]int{}
+	for _, r := range rows {
+		if r.EndSeq == 0 {
+			open[r.Table]++
+		}
+	}
+	for tbl, n := range open {
+		if n != 1 {
+			t.Fatalf("%s has %d open checkpoints", tbl, n)
+		}
+	}
+}
+
+func TestFig12ConcurrencySlowsSU(t *testing.T) {
+	rows := Fig12(0.2)
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byPhase := map[string]Fig12Row{}
+	for _, r := range rows {
+		byPhase[r.Phase] = r
+	}
+	// Each concurrent phase must be slower than its isolated neighbor — the
+	// neighbor comparison controls for table growth across phases.
+	if byPhase["SU_2"].SUTime <= byPhase["SU_1"].SUTime {
+		t.Fatalf("SU with concurrent DM (%v) not slower than isolated SU_1 (%v)",
+			byPhase["SU_2"].SUTime, byPhase["SU_1"].SUTime)
+	}
+	if byPhase["SU_4"].SUTime <= byPhase["SU_5"].SUTime {
+		t.Fatalf("SU with concurrent Optimize (%v) not slower than isolated SU_5 (%v)",
+			byPhase["SU_4"].SUTime, byPhase["SU_5"].SUTime)
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	out := RenderTable([]string{"a", "long_header"}, [][]string{{"1", "2"}, {"333", "4"}})
+	if out == "" || len(out) < 20 {
+		t.Fatalf("render = %q", out)
+	}
+}

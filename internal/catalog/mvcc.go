@@ -1,0 +1,407 @@
+// Package catalog implements the SQL-DB substitute that Polaris's SQL FE
+// runs transactions against (paper Sections 3.1, 4.1). It is a multi-version
+// key-value store with Snapshot Isolation: every user transaction's changes
+// to the Manifests and WriteSets system tables run inside one catalog
+// transaction, and the catalog's first-committer-wins write-write conflict
+// detection is exactly the mechanism the paper's validation phase relies on.
+//
+// Three isolation modes mirror SQL Server's (paper 4.4.2): Snapshot (the
+// default), ReadCommittedSnapshot (each read sees the latest committed
+// version), and Serializable (read-set validation on commit).
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Errors returned by transaction operations.
+var (
+	// ErrWriteConflict is the SI first-committer-wins abort: another
+	// transaction committed a version of a written key after this
+	// transaction's snapshot was taken.
+	ErrWriteConflict = errors.New("catalog: snapshot write-write conflict")
+	// ErrReadConflict is the serializable-mode abort: a key (or key range)
+	// this transaction read was changed by a concurrent committer.
+	ErrReadConflict = errors.New("catalog: serializable read conflict")
+	// ErrTxDone is returned when using a committed or aborted transaction.
+	ErrTxDone = errors.New("catalog: transaction already finished")
+	// ErrNotFound is returned by Get for missing keys.
+	ErrNotFound = errors.New("catalog: key not found")
+)
+
+// IsWriteConflict reports whether err is an SI write-write conflict abort —
+// the retryable failure mode of optimistic transactions.
+func IsWriteConflict(err error) bool { return errors.Is(err, ErrWriteConflict) }
+
+// IsolationLevel selects the transaction's isolation mode.
+type IsolationLevel int
+
+// Isolation levels.
+const (
+	Snapshot IsolationLevel = iota
+	ReadCommittedSnapshot
+	Serializable
+)
+
+func (l IsolationLevel) String() string {
+	switch l {
+	case Snapshot:
+		return "snapshot"
+	case ReadCommittedSnapshot:
+		return "read-committed-snapshot"
+	case Serializable:
+		return "serializable"
+	default:
+		return fmt.Sprintf("isolation(%d)", int(l))
+	}
+}
+
+type version struct {
+	commitTS int64
+	value    any
+	deleted  bool
+}
+
+type record struct {
+	versions []version // ascending commitTS
+}
+
+func (r *record) visible(ts int64) (any, bool) {
+	for i := len(r.versions) - 1; i >= 0; i-- {
+		v := r.versions[i]
+		if v.commitTS <= ts {
+			if v.deleted {
+				return nil, false
+			}
+			return v.value, true
+		}
+	}
+	return nil, false
+}
+
+func (r *record) latestTS() int64 {
+	if len(r.versions) == 0 {
+		return 0
+	}
+	return r.versions[len(r.versions)-1].commitTS
+}
+
+// DB is the multi-version catalog store. The zero value is not usable; call
+// NewDB.
+type DB struct {
+	mu      sync.RWMutex
+	records map[string]*record
+	ts      int64 // last assigned commit timestamp
+
+	// commitMu is the paper's "commit lock ... to ensure a serializable
+	// order for the transaction to be committed" (4.1.2 step 2). It also
+	// serializes sequence-number allocation with commit ordering.
+	commitMu sync.Mutex
+	seq      int64 // last assigned logical commit sequence (Manifests.SequenceID)
+
+	stats Stats
+}
+
+// Stats counts catalog activity.
+type Stats struct {
+	Begun, Committed, Aborted int64
+	WriteConflicts            int64
+	ReadConflicts             int64
+}
+
+// NewDB creates an empty catalog database.
+func NewDB() *DB {
+	return &DB{records: make(map[string]*record)}
+}
+
+// Begin starts a transaction at the current snapshot.
+func (db *DB) Begin(level IsolationLevel) *Tx {
+	db.mu.Lock()
+	start := db.ts
+	db.stats.Begun++
+	db.mu.Unlock()
+	return &Tx{
+		db:      db,
+		level:   level,
+		startTS: start,
+		writes:  make(map[string]writeOp),
+		reads:   make(map[string]struct{}),
+	}
+}
+
+// CurrentTS returns the latest commit timestamp (the current snapshot edge).
+func (db *DB) CurrentTS() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.ts
+}
+
+// CurrentSeq returns the last allocated logical commit sequence.
+func (db *DB) CurrentSeq() int64 {
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	return db.seq
+}
+
+// Stats returns a copy of cumulative statistics.
+func (db *DB) Stats() Stats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.stats
+}
+
+type writeOp struct {
+	value   any
+	deleted bool
+}
+
+// Tx is a catalog transaction. It is not safe for concurrent use by multiple
+// goroutines; Polaris runs the root transaction single-threaded in the FE.
+type Tx struct {
+	db      *DB
+	level   IsolationLevel
+	startTS int64
+	writes  map[string]writeOp
+	reads   map[string]struct{} // serializable read-set
+	scans   []string            // serializable scanned prefixes
+	// deferred writes are materialized under the commit lock once the commit
+	// sequence is known — the paper's "insert transaction manifest into the
+	// Manifests table" happens here (4.1.2 step 3), because the Manifests row
+	// is keyed by the sequence assigned at commit.
+	deferred []func(seq int64) []KV
+	done     bool
+
+	// commitSeq is populated on successful commit: the logical sequence
+	// assigned under the commit lock.
+	commitSeq int64
+}
+
+func (tx *Tx) readTS() int64 {
+	if tx.level == ReadCommittedSnapshot {
+		return tx.db.CurrentTS() // each read sees latest committed
+	}
+	return tx.startTS
+}
+
+// StartTS returns the transaction's snapshot timestamp.
+func (tx *Tx) StartTS() int64 { return tx.startTS }
+
+// CommitSeq returns the sequence assigned at commit (0 before commit).
+func (tx *Tx) CommitSeq() int64 { return tx.commitSeq }
+
+// Get returns the value of key visible to this transaction, honoring its own
+// uncommitted writes first.
+func (tx *Tx) Get(key string) (any, error) {
+	if tx.done {
+		return nil, ErrTxDone
+	}
+	if w, ok := tx.writes[key]; ok {
+		if w.deleted {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+		}
+		return w.value, nil
+	}
+	tx.reads[key] = struct{}{}
+	tx.db.mu.RLock()
+	defer tx.db.mu.RUnlock()
+	r, ok := tx.db.records[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	v, ok := r.visible(tx.readTS())
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	return v, nil
+}
+
+// Exists reports whether key is visible to this transaction.
+func (tx *Tx) Exists(key string) bool {
+	_, err := tx.Get(key)
+	return err == nil
+}
+
+// Put buffers a write. Values must be treated as immutable once passed in.
+func (tx *Tx) Put(key string, value any) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	tx.writes[key] = writeOp{value: value}
+	return nil
+}
+
+// Delete buffers a deletion.
+func (tx *Tx) Delete(key string) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	tx.writes[key] = writeOp{deleted: true}
+	return nil
+}
+
+// KV is one key-value pair returned by Scan.
+type KV struct {
+	Key   string
+	Value any
+}
+
+// Scan returns all visible pairs with the given prefix, sorted by key,
+// overlaid with the transaction's own writes.
+func (tx *Tx) Scan(prefix string) ([]KV, error) {
+	if tx.done {
+		return nil, ErrTxDone
+	}
+	tx.scans = append(tx.scans, prefix)
+	readTS := tx.readTS()
+	merged := make(map[string]any)
+	tx.db.mu.RLock()
+	for key, r := range tx.db.records {
+		if !strings.HasPrefix(key, prefix) {
+			continue
+		}
+		if v, ok := r.visible(readTS); ok {
+			merged[key] = v
+		}
+	}
+	tx.db.mu.RUnlock()
+	for key, w := range tx.writes {
+		if !strings.HasPrefix(key, prefix) {
+			continue
+		}
+		if w.deleted {
+			delete(merged, key)
+		} else {
+			merged[key] = w.value
+		}
+	}
+	out := make([]KV, 0, len(merged))
+	for k, v := range merged {
+		out = append(out, KV{Key: k, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+// DeferWithSeq registers a function producing writes that are installed
+// atomically with the commit, after the commit sequence is assigned. The
+// produced keys must be fresh (commonly keyed by the sequence itself), as
+// they bypass conflict validation.
+func (tx *Tx) DeferWithSeq(f func(seq int64) []KV) {
+	tx.deferred = append(tx.deferred, f)
+}
+
+// Commit runs the validation phase and installs the transaction's writes.
+// On success the transaction's CommitSeq is set; the commit timestamp order
+// equals the sequence order because both are assigned under the commit lock.
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	tx.done = true
+	db := tx.db
+	if len(tx.writes) == 0 && len(tx.deferred) == 0 && tx.level != Serializable {
+		db.mu.Lock()
+		db.stats.Committed++
+		db.mu.Unlock()
+		return nil
+	}
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+
+	// First-committer-wins: any committed version of a written key newer
+	// than our snapshot aborts the transaction (paper 4.1.2 step 4).
+	for key := range tx.writes {
+		if r, ok := db.records[key]; ok && r.latestTS() > tx.startTS {
+			db.stats.WriteConflicts++
+			db.stats.Aborted++
+			return fmt.Errorf("%w: key %s", ErrWriteConflict, key)
+		}
+	}
+	if tx.level == Serializable {
+		for key := range tx.reads {
+			if r, ok := db.records[key]; ok && r.latestTS() > tx.startTS {
+				db.stats.ReadConflicts++
+				db.stats.Aborted++
+				return fmt.Errorf("%w: key %s", ErrReadConflict, key)
+			}
+		}
+		for _, prefix := range tx.scans {
+			for key, r := range db.records {
+				if strings.HasPrefix(key, prefix) && r.latestTS() > tx.startTS {
+					db.stats.ReadConflicts++
+					db.stats.Aborted++
+					return fmt.Errorf("%w: range %s*", ErrReadConflict, prefix)
+				}
+			}
+		}
+	}
+
+	db.ts++
+	commitTS := db.ts
+	db.seq++
+	tx.commitSeq = db.seq
+	for key, w := range tx.writes {
+		r, ok := db.records[key]
+		if !ok {
+			r = &record{}
+			db.records[key] = r
+		}
+		r.versions = append(r.versions, version{commitTS: commitTS, value: w.value, deleted: w.deleted})
+	}
+	for _, f := range tx.deferred {
+		for _, kv := range f(tx.commitSeq) {
+			r, ok := db.records[kv.Key]
+			if !ok {
+				r = &record{}
+				db.records[kv.Key] = r
+			}
+			r.versions = append(r.versions, version{commitTS: commitTS, value: kv.Value})
+		}
+	}
+	db.stats.Committed++
+	return nil
+}
+
+// Rollback abandons the transaction. Safe to call after Commit (no-op).
+func (tx *Tx) Rollback() {
+	if tx.done {
+		return
+	}
+	tx.done = true
+	tx.db.mu.Lock()
+	tx.db.stats.Aborted++
+	tx.db.mu.Unlock()
+}
+
+// CompactVersions drops versions that are no longer visible to any snapshot
+// at or after minTS, keeping at least the newest version per key. Mirrors
+// SQL Server's version-store cleanup.
+func (db *DB) CompactVersions(minTS int64) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	dropped := 0
+	for key, r := range db.records {
+		// find newest version with commitTS <= minTS; older ones are dead
+		cut := -1
+		for i := len(r.versions) - 1; i >= 0; i-- {
+			if r.versions[i].commitTS <= minTS {
+				cut = i
+				break
+			}
+		}
+		if cut > 0 {
+			dropped += cut
+			r.versions = append([]version(nil), r.versions[cut:]...)
+		}
+		if len(r.versions) == 1 && r.versions[0].deleted && r.versions[0].commitTS <= minTS {
+			delete(db.records, key)
+		}
+	}
+	return dropped
+}

@@ -1,0 +1,260 @@
+package catalog
+
+import (
+	"errors"
+	"testing"
+
+	"polaris/internal/colfile"
+)
+
+func testSchema() colfile.Schema {
+	return colfile.Schema{{Name: "id", Type: colfile.Int64}, {Name: "v", Type: colfile.String}}
+}
+
+func TestCreateLookupTable(t *testing.T) {
+	db := NewDB()
+	tx := db.Begin(Snapshot)
+	meta, err := CreateTable(tx, "t1", testSchema(), "id", "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.ID != 1 || meta.Name != "t1" {
+		t.Fatalf("meta = %+v", meta)
+	}
+	must(t, tx.Commit())
+
+	tx2 := db.Begin(Snapshot)
+	got, err := LookupTable(tx2, "t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 1 || !got.Schema.Equal(testSchema()) {
+		t.Fatalf("lookup = %+v", got)
+	}
+	byID, err := GetTable(tx2, 1)
+	if err != nil || byID.Name != "t1" {
+		t.Fatalf("GetTable = %+v, %v", byID, err)
+	}
+}
+
+func TestCreateTableDuplicate(t *testing.T) {
+	db := NewDB()
+	tx := db.Begin(Snapshot)
+	_, err := CreateTable(tx, "t", testSchema(), "id", "")
+	must(t, err)
+	if _, err := CreateTable(tx, "t", testSchema(), "id", ""); !errors.Is(err, ErrTableExists) {
+		t.Fatalf("duplicate: %v", err)
+	}
+}
+
+func TestTableIDsMonotonic(t *testing.T) {
+	db := NewDB()
+	tx := db.Begin(Snapshot)
+	a, _ := CreateTable(tx, "a", testSchema(), "id", "")
+	b, _ := CreateTable(tx, "b", testSchema(), "id", "")
+	must(t, tx.Commit())
+	if a.ID != 1 || b.ID != 2 {
+		t.Fatalf("ids = %d, %d", a.ID, b.ID)
+	}
+	tx2 := db.Begin(Snapshot)
+	c, _ := CreateTable(tx2, "c", testSchema(), "id", "")
+	if c.ID != 3 {
+		t.Fatalf("id after commit = %d", c.ID)
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	db := NewDB()
+	tx := db.Begin(Snapshot)
+	_, _ = CreateTable(tx, "t", testSchema(), "id", "")
+	must(t, tx.Commit())
+	tx2 := db.Begin(Snapshot)
+	must(t, DropTable(tx2, "t"))
+	must(t, tx2.Commit())
+	tx3 := db.Begin(Snapshot)
+	if _, err := LookupTable(tx3, "t"); !errors.Is(err, ErrTableNotFound) {
+		t.Fatalf("lookup after drop: %v", err)
+	}
+	if err := DropTable(tx3, "ghost"); !errors.Is(err, ErrTableNotFound) {
+		t.Fatalf("drop ghost: %v", err)
+	}
+}
+
+func TestListTables(t *testing.T) {
+	db := NewDB()
+	tx := db.Begin(Snapshot)
+	_, _ = CreateTable(tx, "zeta", testSchema(), "id", "")
+	_, _ = CreateTable(tx, "alpha", testSchema(), "id", "")
+	must(t, tx.Commit())
+	tx2 := db.Begin(Snapshot)
+	got, err := ListTables(tx2)
+	must(t, err)
+	if len(got) != 2 || got[0].Name != "alpha" || got[1].Name != "zeta" {
+		t.Fatalf("list = %+v", got)
+	}
+}
+
+func TestManifestInsertAtCommitAndScan(t *testing.T) {
+	db := NewDB()
+	tx := db.Begin(Snapshot)
+	InsertManifestAtCommit(tx, 1, "x1.json", 100)
+	must(t, tx.Commit())
+	seq1 := tx.CommitSeq()
+
+	tx2 := db.Begin(Snapshot)
+	InsertManifestAtCommit(tx2, 1, "x2.json", 101)
+	InsertManifestAtCommit(tx2, 2, "x2.json", 101) // multi-table txn: one row per table
+	must(t, tx2.Commit())
+	seq2 := tx2.CommitSeq()
+	if seq2 != seq1+1 {
+		t.Fatalf("seqs = %d, %d", seq1, seq2)
+	}
+
+	tx3 := db.Begin(Snapshot)
+	rows, err := ScanManifests(tx3, 1, -1)
+	must(t, err)
+	if len(rows) != 2 || rows[0].ManifestFile != "x1.json" || rows[1].ManifestFile != "x2.json" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows[0].Seq != seq1 || rows[1].Seq != seq2 {
+		t.Fatalf("seqs = %+v", rows)
+	}
+	// as-of filtering
+	old, err := ScanManifests(tx3, 1, seq1)
+	must(t, err)
+	if len(old) != 1 {
+		t.Fatalf("as-of rows = %+v", old)
+	}
+	// other table sees only its row
+	t2rows, _ := ScanManifests(tx3, 2, -1)
+	if len(t2rows) != 1 || t2rows[0].TableID != 2 {
+		t.Fatalf("t2 rows = %+v", t2rows)
+	}
+}
+
+func TestWriteSetTableConflict(t *testing.T) {
+	// Two concurrent transactions updating the same table: the WriteSets
+	// upsert makes the second committer fail (paper 4.1.2).
+	db := NewDB()
+	t1 := db.Begin(Snapshot)
+	t2 := db.Begin(Snapshot)
+	must(t, UpsertWriteSetTable(t1, 7))
+	must(t, UpsertWriteSetTable(t2, 7))
+	must(t, t1.Commit())
+	if err := t2.Commit(); !errors.Is(err, ErrWriteConflict) {
+		t.Fatalf("conflict: %v", err)
+	}
+}
+
+func TestWriteSetDifferentTablesNoConflict(t *testing.T) {
+	db := NewDB()
+	t1 := db.Begin(Snapshot)
+	t2 := db.Begin(Snapshot)
+	must(t, UpsertWriteSetTable(t1, 1))
+	must(t, UpsertWriteSetTable(t2, 2))
+	must(t, t1.Commit())
+	must(t, t2.Commit())
+}
+
+func TestWriteSetFileGranularity(t *testing.T) {
+	// Paper 4.4.1: same table, different data files -> no conflict;
+	// same data file -> conflict.
+	db := NewDB()
+	t1 := db.Begin(Snapshot)
+	t2 := db.Begin(Snapshot)
+	must(t, UpsertWriteSetFile(t1, 7, "a.parquet"))
+	must(t, UpsertWriteSetFile(t2, 7, "b.parquet"))
+	must(t, t1.Commit())
+	must(t, t2.Commit())
+
+	t3 := db.Begin(Snapshot)
+	t4 := db.Begin(Snapshot)
+	must(t, UpsertWriteSetFile(t3, 7, "c.parquet"))
+	must(t, UpsertWriteSetFile(t4, 7, "c.parquet"))
+	must(t, t3.Commit())
+	if err := t4.Commit(); !errors.Is(err, ErrWriteConflict) {
+		t.Fatalf("file conflict: %v", err)
+	}
+}
+
+func TestWriteSetUpdatedCounter(t *testing.T) {
+	db := NewDB()
+	for i := 0; i < 3; i++ {
+		tx := db.Begin(Snapshot)
+		must(t, UpsertWriteSetTable(tx, 5))
+		must(t, tx.Commit())
+	}
+	tx := db.Begin(Snapshot)
+	v, err := tx.Get(keyWriteSetTable(5))
+	must(t, err)
+	if v.(WriteSetRow).Updated != 3 {
+		t.Fatalf("Updated = %d", v.(WriteSetRow).Updated)
+	}
+}
+
+func TestCheckpointRows(t *testing.T) {
+	db := NewDB()
+	tx := db.Begin(Snapshot)
+	must(t, InsertCheckpointRow(tx, CheckpointRow{TableID: 1, Seq: 5, Path: "cp5"}))
+	must(t, InsertCheckpointRow(tx, CheckpointRow{TableID: 1, Seq: 9, Path: "cp9"}))
+	must(t, InsertCheckpointRow(tx, CheckpointRow{TableID: 2, Seq: 7, Path: "other"}))
+	must(t, tx.Commit())
+
+	tx2 := db.Begin(Snapshot)
+	cp, ok, err := LatestCheckpoint(tx2, 1, -1)
+	must(t, err)
+	if !ok || cp.Path != "cp9" {
+		t.Fatalf("latest = %+v ok=%v", cp, ok)
+	}
+	cp, ok, _ = LatestCheckpoint(tx2, 1, 6)
+	if !ok || cp.Path != "cp5" {
+		t.Fatalf("as-of-6 = %+v ok=%v", cp, ok)
+	}
+	_, ok, _ = LatestCheckpoint(tx2, 1, 2)
+	if ok {
+		t.Fatal("checkpoint before any seq")
+	}
+	_, ok, _ = LatestCheckpoint(tx2, 99, -1)
+	if ok {
+		t.Fatal("checkpoint for unknown table")
+	}
+	all, _ := ListCheckpoints(tx2, 1)
+	if len(all) != 2 || all[0].Seq != 5 {
+		t.Fatalf("list = %+v", all)
+	}
+}
+
+func TestManifestRowExplicitInsertForClone(t *testing.T) {
+	db := NewDB()
+	tx := db.Begin(Snapshot)
+	// simulate clone: copy source rows under new table id
+	must(t, InsertManifestRow(tx, ManifestRow{TableID: 10, ManifestFile: "m1", Seq: 3, TxnID: 1}))
+	must(t, InsertManifestRow(tx, ManifestRow{TableID: 10, ManifestFile: "m2", Seq: 4, TxnID: 2}))
+	must(t, tx.Commit())
+	tx2 := db.Begin(Snapshot)
+	rows, _ := ScanManifests(tx2, 10, -1)
+	if len(rows) != 2 || rows[0].Seq != 3 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	must(t, DeleteManifestRow(tx2, 10, 4))
+	must(t, tx2.Commit())
+	tx3 := db.Begin(Snapshot)
+	rows, _ = ScanManifests(tx3, 10, -1)
+	if len(rows) != 1 {
+		t.Fatalf("after delete = %+v", rows)
+	}
+}
+
+func TestPutTableMeta(t *testing.T) {
+	db := NewDB()
+	tx := db.Begin(Snapshot)
+	meta, _ := CreateTable(tx, "t", testSchema(), "id", "")
+	meta.RetentionSeqs = 5
+	must(t, PutTableMeta(tx, meta))
+	must(t, tx.Commit())
+	tx2 := db.Begin(Snapshot)
+	got, _ := LookupTable(tx2, "t")
+	if got.RetentionSeqs != 5 {
+		t.Fatalf("retention = %d", got.RetentionSeqs)
+	}
+}

@@ -1,0 +1,314 @@
+// Package colfile implements an immutable columnar file format standing in
+// for Apache Parquet (paper Section 2.3). Real Parquet is unavailable with a
+// stdlib-only constraint, so colfile reproduces the structural properties the
+// paper's storage engine relies on:
+//
+//   - row groups of column chunks, readable independently and in parallel;
+//   - columnar encodings (plain, dictionary, run-length) plus flate
+//     compression;
+//   - per-row-group, per-column min/max zone maps for predicate pruning;
+//   - a self-describing footer so a file is usable given only its bytes.
+//
+// Files are write-once: a Writer accumulates row groups and Finish seals the
+// file. Readers never mutate file bytes, which is what makes log-structured
+// storage's "discard on failure" recovery story work.
+package colfile
+
+import (
+	"fmt"
+)
+
+// DataType enumerates supported column types.
+type DataType uint8
+
+// Supported column types.
+const (
+	Int64 DataType = iota
+	Float64
+	String
+	Bool
+)
+
+func (t DataType) String() string {
+	switch t {
+	case Int64:
+		return "int64"
+	case Float64:
+		return "float64"
+	case String:
+		return "string"
+	case Bool:
+		return "bool"
+	default:
+		return fmt.Sprintf("datatype(%d)", uint8(t))
+	}
+}
+
+// Field is one column in a schema.
+type Field struct {
+	Name string   `json:"name"`
+	Type DataType `json:"type"`
+}
+
+// Schema describes the columns of a file or table.
+type Schema []Field
+
+// ColIndex returns the index of the named column, or -1.
+func (s Schema) ColIndex(name string) int {
+	for i, f := range s {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Equal reports whether two schemas have identical fields.
+func (s Schema) Equal(o Schema) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Vec is a typed column vector: the unit of data exchanged between the file
+// format and the vectorized execution engine. Exactly one payload slice is
+// populated according to Type. Nulls, when non-nil, marks NULL positions.
+type Vec struct {
+	Type   DataType
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+	Bools  []bool
+	Nulls  []bool
+}
+
+// NewVec returns an empty vector of the given type.
+func NewVec(t DataType) *Vec { return &Vec{Type: t} }
+
+// Len returns the number of values in the vector.
+func (v *Vec) Len() int {
+	switch v.Type {
+	case Int64:
+		return len(v.Ints)
+	case Float64:
+		return len(v.Floats)
+	case String:
+		return len(v.Strs)
+	case Bool:
+		return len(v.Bools)
+	}
+	return 0
+}
+
+// IsNull reports whether position i is NULL.
+func (v *Vec) IsNull(i int) bool { return v.Nulls != nil && v.Nulls[i] }
+
+// AppendInt appends an int64 value.
+func (v *Vec) AppendInt(x int64) { v.Ints = append(v.Ints, x); v.growNull(false) }
+
+// AppendFloat appends a float64 value.
+func (v *Vec) AppendFloat(x float64) { v.Floats = append(v.Floats, x); v.growNull(false) }
+
+// AppendStr appends a string value.
+func (v *Vec) AppendStr(x string) { v.Strs = append(v.Strs, x); v.growNull(false) }
+
+// AppendBool appends a bool value.
+func (v *Vec) AppendBool(x bool) { v.Bools = append(v.Bools, x); v.growNull(false) }
+
+// AppendNull appends a NULL of the vector's type.
+func (v *Vec) AppendNull() {
+	switch v.Type {
+	case Int64:
+		v.Ints = append(v.Ints, 0)
+	case Float64:
+		v.Floats = append(v.Floats, 0)
+	case String:
+		v.Strs = append(v.Strs, "")
+	case Bool:
+		v.Bools = append(v.Bools, false)
+	}
+	v.growNull(true)
+}
+
+func (v *Vec) growNull(isNull bool) {
+	if v.Nulls == nil {
+		if !isNull {
+			return
+		}
+		v.Nulls = make([]bool, v.Len()-1, v.Len())
+	}
+	v.Nulls = append(v.Nulls, isNull)
+}
+
+// Value returns position i as an interface value (nil for NULL). Intended for
+// row-at-a-time consumers such as result rendering; the execution engine
+// works on the typed slices directly.
+func (v *Vec) Value(i int) any {
+	if v.IsNull(i) {
+		return nil
+	}
+	switch v.Type {
+	case Int64:
+		return v.Ints[i]
+	case Float64:
+		return v.Floats[i]
+	case String:
+		return v.Strs[i]
+	case Bool:
+		return v.Bools[i]
+	}
+	return nil
+}
+
+// Append appends position i of src (which must have the same type).
+func (v *Vec) Append(src *Vec, i int) {
+	if src.IsNull(i) {
+		v.AppendNull()
+		return
+	}
+	switch v.Type {
+	case Int64:
+		v.AppendInt(src.Ints[i])
+	case Float64:
+		v.AppendFloat(src.Floats[i])
+	case String:
+		v.AppendStr(src.Strs[i])
+	case Bool:
+		v.AppendBool(src.Bools[i])
+	}
+}
+
+// AppendValue appends a Go value, converting compatible types.
+func (v *Vec) AppendValue(x any) error {
+	if x == nil {
+		v.AppendNull()
+		return nil
+	}
+	switch v.Type {
+	case Int64:
+		switch t := x.(type) {
+		case int64:
+			v.AppendInt(t)
+		case int:
+			v.AppendInt(int64(t))
+		case float64:
+			v.AppendInt(int64(t))
+		default:
+			return fmt.Errorf("colfile: cannot append %T to int64 column", x)
+		}
+	case Float64:
+		switch t := x.(type) {
+		case float64:
+			v.AppendFloat(t)
+		case int64:
+			v.AppendFloat(float64(t))
+		case int:
+			v.AppendFloat(float64(t))
+		default:
+			return fmt.Errorf("colfile: cannot append %T to float64 column", x)
+		}
+	case String:
+		t, ok := x.(string)
+		if !ok {
+			return fmt.Errorf("colfile: cannot append %T to string column", x)
+		}
+		v.AppendStr(t)
+	case Bool:
+		t, ok := x.(bool)
+		if !ok {
+			return fmt.Errorf("colfile: cannot append %T to bool column", x)
+		}
+		v.AppendBool(t)
+	}
+	return nil
+}
+
+// Filter returns a new vector containing only positions where keep[i] is true.
+func (v *Vec) Filter(keep []bool) *Vec {
+	out := NewVec(v.Type)
+	for i := 0; i < v.Len(); i++ {
+		if keep[i] {
+			out.Append(v, i)
+		}
+	}
+	return out
+}
+
+// Slice returns a new vector with positions [lo, hi).
+func (v *Vec) Slice(lo, hi int) *Vec {
+	out := NewVec(v.Type)
+	for i := lo; i < hi; i++ {
+		out.Append(v, i)
+	}
+	return out
+}
+
+// Batch is a set of equal-length column vectors: the execution engine's unit
+// of work.
+type Batch struct {
+	Schema Schema
+	Cols   []*Vec
+}
+
+// NewBatch creates an empty batch for a schema.
+func NewBatch(schema Schema) *Batch {
+	cols := make([]*Vec, len(schema))
+	for i, f := range schema {
+		cols[i] = NewVec(f.Type)
+	}
+	return &Batch{Schema: schema, Cols: cols}
+}
+
+// NumRows returns the number of rows in the batch.
+func (b *Batch) NumRows() int {
+	if len(b.Cols) == 0 {
+		return 0
+	}
+	return b.Cols[0].Len()
+}
+
+// AppendRow appends one row given as Go values.
+func (b *Batch) AppendRow(vals ...any) error {
+	if len(vals) != len(b.Cols) {
+		return fmt.Errorf("colfile: row has %d values, batch has %d columns", len(vals), len(b.Cols))
+	}
+	for i, x := range vals {
+		if err := b.Cols[i].AppendValue(x); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Row materializes row i as Go values.
+func (b *Batch) Row(i int) []any {
+	out := make([]any, len(b.Cols))
+	for c, v := range b.Cols {
+		out[c] = v.Value(i)
+	}
+	return out
+}
+
+// Filter returns a new batch keeping only rows where keep[i] is true.
+func (b *Batch) Filter(keep []bool) *Batch {
+	out := &Batch{Schema: b.Schema, Cols: make([]*Vec, len(b.Cols))}
+	for i, v := range b.Cols {
+		out.Cols[i] = v.Filter(keep)
+	}
+	return out
+}
+
+// AppendBatch appends all rows of src (same schema).
+func (b *Batch) AppendBatch(src *Batch) {
+	for i := range b.Cols {
+		for r := 0; r < src.NumRows(); r++ {
+			b.Cols[i].Append(src.Cols[i], r)
+		}
+	}
+}

@@ -1,0 +1,329 @@
+package colfile
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Column-chunk encodings. The writer picks automatically: dictionary when a
+// string column has few distinct values, run-length when an int column has
+// long runs, plain otherwise.
+const (
+	encPlain byte = iota
+	encDict
+	encRLE
+)
+
+// encodeChunk serializes one column vector to bytes:
+//
+//	[encoding byte][null section][payload], then flate-compressed.
+func encodeChunk(v *Vec) ([]byte, error) {
+	raw := &bytes.Buffer{}
+	enc := chooseEncoding(v)
+	raw.WriteByte(enc)
+	writeNulls(raw, v)
+	switch enc {
+	case encPlain:
+		encodePlain(raw, v)
+	case encDict:
+		encodeDict(raw, v)
+	case encRLE:
+		encodeRLE(raw, v)
+	}
+	comp := &bytes.Buffer{}
+	fw, err := flate.NewWriter(comp, flate.BestSpeed)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fw.Write(raw.Bytes()); err != nil {
+		return nil, err
+	}
+	if err := fw.Close(); err != nil {
+		return nil, err
+	}
+	return comp.Bytes(), nil
+}
+
+// decodeChunk reverses encodeChunk. n is the row count recorded in the footer.
+func decodeChunk(data []byte, t DataType, n int) (*Vec, error) {
+	fr := flate.NewReader(bytes.NewReader(data))
+	raw, err := io.ReadAll(fr)
+	if err != nil {
+		return nil, fmt.Errorf("colfile: decompress chunk: %w", err)
+	}
+	if len(raw) == 0 {
+		return nil, errors.New("colfile: empty chunk")
+	}
+	buf := bytes.NewReader(raw[1:])
+	v := NewVec(t)
+	nulls, err := readNulls(buf, n)
+	if err != nil {
+		return nil, err
+	}
+	switch raw[0] {
+	case encPlain:
+		err = decodePlain(buf, v, n)
+	case encDict:
+		err = decodeDict(buf, v, n)
+	case encRLE:
+		err = decodeRLE(buf, v, n)
+	default:
+		return nil, fmt.Errorf("colfile: unknown encoding %d", raw[0])
+	}
+	if err != nil {
+		return nil, err
+	}
+	v.Nulls = nulls
+	return v, nil
+}
+
+func chooseEncoding(v *Vec) byte {
+	switch v.Type {
+	case String:
+		if v.Len() >= 16 {
+			distinct := make(map[string]struct{}, 64)
+			for _, s := range v.Strs {
+				distinct[s] = struct{}{}
+				if len(distinct) > v.Len()/4 {
+					return encPlain
+				}
+			}
+			return encDict
+		}
+	case Int64:
+		if v.Len() >= 16 {
+			runs := 1
+			for i := 1; i < len(v.Ints); i++ {
+				if v.Ints[i] != v.Ints[i-1] {
+					runs++
+				}
+			}
+			if runs <= v.Len()/4 {
+				return encRLE
+			}
+		}
+	}
+	return encPlain
+}
+
+func writeNulls(w *bytes.Buffer, v *Vec) {
+	if v.Nulls == nil {
+		w.WriteByte(0)
+		return
+	}
+	any := false
+	for _, b := range v.Nulls {
+		if b {
+			any = true
+			break
+		}
+	}
+	if !any {
+		w.WriteByte(0)
+		return
+	}
+	w.WriteByte(1)
+	// bit-packed null bitmap
+	nb := (len(v.Nulls) + 7) / 8
+	bits := make([]byte, nb)
+	for i, isNull := range v.Nulls {
+		if isNull {
+			bits[i/8] |= 1 << (i % 8)
+		}
+	}
+	w.Write(bits)
+}
+
+func readNulls(r *bytes.Reader, n int) ([]bool, error) {
+	flag, err := r.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("colfile: null flag: %w", err)
+	}
+	if flag == 0 {
+		return nil, nil
+	}
+	nb := (n + 7) / 8
+	bits := make([]byte, nb)
+	if _, err := io.ReadFull(r, bits); err != nil {
+		return nil, fmt.Errorf("colfile: null bitmap: %w", err)
+	}
+	nulls := make([]bool, n)
+	for i := range nulls {
+		nulls[i] = bits[i/8]&(1<<(i%8)) != 0
+	}
+	return nulls, nil
+}
+
+func encodePlain(w *bytes.Buffer, v *Vec) {
+	switch v.Type {
+	case Int64:
+		var tmp [binary.MaxVarintLen64]byte
+		for _, x := range v.Ints {
+			n := binary.PutVarint(tmp[:], x)
+			w.Write(tmp[:n])
+		}
+	case Float64:
+		var tmp [8]byte
+		for _, x := range v.Floats {
+			binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(x))
+			w.Write(tmp[:])
+		}
+	case String:
+		var tmp [binary.MaxVarintLen64]byte
+		for _, s := range v.Strs {
+			n := binary.PutUvarint(tmp[:], uint64(len(s)))
+			w.Write(tmp[:n])
+			w.WriteString(s)
+		}
+	case Bool:
+		for _, b := range v.Bools {
+			if b {
+				w.WriteByte(1)
+			} else {
+				w.WriteByte(0)
+			}
+		}
+	}
+}
+
+func decodePlain(r *bytes.Reader, v *Vec, n int) error {
+	switch v.Type {
+	case Int64:
+		v.Ints = make([]int64, n)
+		for i := 0; i < n; i++ {
+			x, err := binary.ReadVarint(r)
+			if err != nil {
+				return fmt.Errorf("colfile: int64 value %d: %w", i, err)
+			}
+			v.Ints[i] = x
+		}
+	case Float64:
+		v.Floats = make([]float64, n)
+		var tmp [8]byte
+		for i := 0; i < n; i++ {
+			if _, err := io.ReadFull(r, tmp[:]); err != nil {
+				return fmt.Errorf("colfile: float64 value %d: %w", i, err)
+			}
+			v.Floats[i] = math.Float64frombits(binary.LittleEndian.Uint64(tmp[:]))
+		}
+	case String:
+		v.Strs = make([]string, n)
+		for i := 0; i < n; i++ {
+			l, err := binary.ReadUvarint(r)
+			if err != nil {
+				return fmt.Errorf("colfile: string len %d: %w", i, err)
+			}
+			b := make([]byte, l)
+			if _, err := io.ReadFull(r, b); err != nil {
+				return fmt.Errorf("colfile: string value %d: %w", i, err)
+			}
+			v.Strs[i] = string(b)
+		}
+	case Bool:
+		v.Bools = make([]bool, n)
+		for i := 0; i < n; i++ {
+			b, err := r.ReadByte()
+			if err != nil {
+				return fmt.Errorf("colfile: bool value %d: %w", i, err)
+			}
+			v.Bools[i] = b != 0
+		}
+	}
+	return nil
+}
+
+func encodeDict(w *bytes.Buffer, v *Vec) {
+	dict := make(map[string]uint64, 64)
+	var order []string
+	for _, s := range v.Strs {
+		if _, ok := dict[s]; !ok {
+			dict[s] = uint64(len(order))
+			order = append(order, s)
+		}
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(order)))
+	w.Write(tmp[:n])
+	for _, s := range order {
+		n = binary.PutUvarint(tmp[:], uint64(len(s)))
+		w.Write(tmp[:n])
+		w.WriteString(s)
+	}
+	for _, s := range v.Strs {
+		n = binary.PutUvarint(tmp[:], dict[s])
+		w.Write(tmp[:n])
+	}
+}
+
+func decodeDict(r *bytes.Reader, v *Vec, n int) error {
+	dn, err := binary.ReadUvarint(r)
+	if err != nil {
+		return fmt.Errorf("colfile: dict size: %w", err)
+	}
+	dict := make([]string, dn)
+	for i := range dict {
+		l, err := binary.ReadUvarint(r)
+		if err != nil {
+			return fmt.Errorf("colfile: dict entry len %d: %w", i, err)
+		}
+		b := make([]byte, l)
+		if _, err := io.ReadFull(r, b); err != nil {
+			return fmt.Errorf("colfile: dict entry %d: %w", i, err)
+		}
+		dict[i] = string(b)
+	}
+	v.Strs = make([]string, n)
+	for i := 0; i < n; i++ {
+		idx, err := binary.ReadUvarint(r)
+		if err != nil {
+			return fmt.Errorf("colfile: dict code %d: %w", i, err)
+		}
+		if idx >= dn {
+			return fmt.Errorf("colfile: dict code %d out of range", idx)
+		}
+		v.Strs[i] = dict[idx]
+	}
+	return nil
+}
+
+func encodeRLE(w *bytes.Buffer, v *Vec) {
+	var tmp [binary.MaxVarintLen64]byte
+	i := 0
+	for i < len(v.Ints) {
+		j := i
+		for j < len(v.Ints) && v.Ints[j] == v.Ints[i] {
+			j++
+		}
+		n := binary.PutVarint(tmp[:], v.Ints[i])
+		w.Write(tmp[:n])
+		n = binary.PutUvarint(tmp[:], uint64(j-i))
+		w.Write(tmp[:n])
+		i = j
+	}
+}
+
+func decodeRLE(r *bytes.Reader, v *Vec, n int) error {
+	v.Ints = make([]int64, 0, n)
+	for len(v.Ints) < n {
+		val, err := binary.ReadVarint(r)
+		if err != nil {
+			return fmt.Errorf("colfile: rle value: %w", err)
+		}
+		run, err := binary.ReadUvarint(r)
+		if err != nil {
+			return fmt.Errorf("colfile: rle run: %w", err)
+		}
+		if run == 0 || len(v.Ints)+int(run) > n {
+			return fmt.Errorf("colfile: rle run %d overflows %d rows", run, n)
+		}
+		for k := uint64(0); k < run; k++ {
+			v.Ints = append(v.Ints, val)
+		}
+	}
+	return nil
+}

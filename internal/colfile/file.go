@@ -1,0 +1,307 @@
+package colfile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// File layout:
+//
+//	[chunk bytes ...][footer JSON][footer length: 8 bytes LE][magic: 4 bytes]
+//
+// The footer records the schema, each row group's per-column chunk offsets,
+// and zone-map statistics.
+var fileMagic = []byte("PCF1")
+
+// ColStats holds the zone map for one column chunk. Min/Max are stored as the
+// JSON-friendly representations of the column type; NullCount counts NULLs.
+type ColStats struct {
+	MinInt    *int64   `json:"min_int,omitempty"`
+	MaxInt    *int64   `json:"max_int,omitempty"`
+	MinFloat  *float64 `json:"min_float,omitempty"`
+	MaxFloat  *float64 `json:"max_float,omitempty"`
+	MinStr    *string  `json:"min_str,omitempty"`
+	MaxStr    *string  `json:"max_str,omitempty"`
+	NullCount int      `json:"null_count"`
+}
+
+// chunkMeta locates one column chunk within the file.
+type chunkMeta struct {
+	Offset int64    `json:"offset"`
+	Length int64    `json:"length"`
+	Stats  ColStats `json:"stats"`
+}
+
+// rowGroupMeta describes one row group.
+type rowGroupMeta struct {
+	NumRows int         `json:"num_rows"`
+	Chunks  []chunkMeta `json:"chunks"`
+}
+
+type footer struct {
+	Schema    Schema         `json:"schema"`
+	RowGroups []rowGroupMeta `json:"row_groups"`
+	NumRows   int64          `json:"num_rows"`
+	// SortedBy names the column the writer declared rows ordered by within
+	// each row group (Z-order / clustering stand-in); empty if unsorted.
+	SortedBy string `json:"sorted_by,omitempty"`
+}
+
+// Writer builds a columnar file in memory.
+type Writer struct {
+	schema   Schema
+	sortedBy string
+	buf      bytes.Buffer
+	meta     footer
+	finished bool
+}
+
+// NewWriter creates a writer for the schema.
+func NewWriter(schema Schema) *Writer {
+	return &Writer{schema: schema, meta: footer{Schema: schema}}
+}
+
+// SetSortedBy declares the clustering column recorded in the footer.
+func (w *Writer) SetSortedBy(col string) { w.sortedBy = col }
+
+// WriteBatch appends one row group containing the batch's rows.
+func (w *Writer) WriteBatch(b *Batch) error {
+	if w.finished {
+		return errors.New("colfile: writer already finished")
+	}
+	if !b.Schema.Equal(w.schema) {
+		return fmt.Errorf("colfile: batch schema %v does not match file schema %v", b.Schema, w.schema)
+	}
+	n := b.NumRows()
+	if n == 0 {
+		return nil
+	}
+	rg := rowGroupMeta{NumRows: n, Chunks: make([]chunkMeta, len(b.Cols))}
+	for i, col := range b.Cols {
+		if col.Len() != n {
+			return fmt.Errorf("colfile: column %d has %d rows, batch has %d", i, col.Len(), n)
+		}
+		data, err := encodeChunk(col)
+		if err != nil {
+			return err
+		}
+		rg.Chunks[i] = chunkMeta{
+			Offset: int64(w.buf.Len()),
+			Length: int64(len(data)),
+			Stats:  computeStats(col),
+		}
+		w.buf.Write(data)
+	}
+	w.meta.RowGroups = append(w.meta.RowGroups, rg)
+	w.meta.NumRows += int64(n)
+	return nil
+}
+
+// Finish seals the file and returns its bytes. The writer cannot be reused.
+func (w *Writer) Finish() ([]byte, error) {
+	if w.finished {
+		return nil, errors.New("colfile: writer already finished")
+	}
+	w.finished = true
+	w.meta.SortedBy = w.sortedBy
+	fj, err := json.Marshal(w.meta)
+	if err != nil {
+		return nil, err
+	}
+	w.buf.Write(fj)
+	var lenBuf [8]byte
+	binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(fj)))
+	w.buf.Write(lenBuf[:])
+	w.buf.Write(fileMagic)
+	return w.buf.Bytes(), nil
+}
+
+// NumRows returns the rows written so far.
+func (w *Writer) NumRows() int64 { return w.meta.NumRows }
+
+func computeStats(v *Vec) ColStats {
+	var st ColStats
+	first := true
+	nonFinite := false
+	for i := 0; i < v.Len(); i++ {
+		if v.IsNull(i) {
+			st.NullCount++
+			continue
+		}
+		switch v.Type {
+		case Int64:
+			x := v.Ints[i]
+			if first || x < *st.MinInt {
+				st.MinInt = ptr(x)
+			}
+			if first || x > *st.MaxInt {
+				st.MaxInt = ptr(x)
+			}
+		case Float64:
+			x := v.Floats[i]
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				// Non-finite values are not JSON-encodable and would poison
+				// the zone map; drop the map for this chunk (no pruning).
+				nonFinite = true
+				continue
+			}
+			if first || st.MinFloat == nil || x < *st.MinFloat {
+				st.MinFloat = ptr(x)
+			}
+			if first || st.MaxFloat == nil || x > *st.MaxFloat {
+				st.MaxFloat = ptr(x)
+			}
+		case String:
+			x := v.Strs[i]
+			if first || x < *st.MinStr {
+				st.MinStr = ptr(x)
+			}
+			if first || x > *st.MaxStr {
+				st.MaxStr = ptr(x)
+			}
+		case Bool:
+			// no zone map for bools
+		}
+		first = false
+	}
+	if nonFinite {
+		st.MinFloat, st.MaxFloat = nil, nil
+	}
+	return st
+}
+
+func ptr[T any](x T) *T { v := x; return &v }
+
+// Reader provides random access to a sealed file's row groups.
+type Reader struct {
+	data []byte
+	meta footer
+}
+
+// OpenReader parses the footer of a sealed file.
+func OpenReader(data []byte) (*Reader, error) {
+	if len(data) < 12 || !bytes.Equal(data[len(data)-4:], fileMagic) {
+		return nil, errors.New("colfile: bad magic")
+	}
+	flen := binary.LittleEndian.Uint64(data[len(data)-12 : len(data)-4])
+	fstart := uint64(len(data)) - 12 - flen
+	if flen > uint64(len(data))-12 {
+		return nil, errors.New("colfile: footer length out of range")
+	}
+	var meta footer
+	if err := json.Unmarshal(data[fstart:fstart+flen], &meta); err != nil {
+		return nil, fmt.Errorf("colfile: parse footer: %w", err)
+	}
+	return &Reader{data: data, meta: meta}, nil
+}
+
+// Schema returns the file schema.
+func (r *Reader) Schema() Schema { return r.meta.Schema }
+
+// NumRows returns the total number of rows in the file.
+func (r *Reader) NumRows() int64 { return r.meta.NumRows }
+
+// NumRowGroups returns the number of row groups.
+func (r *Reader) NumRowGroups() int { return len(r.meta.RowGroups) }
+
+// RowGroupRows returns the row count of group g.
+func (r *Reader) RowGroupRows(g int) int { return r.meta.RowGroups[g].NumRows }
+
+// SortedBy returns the clustering column declared by the writer.
+func (r *Reader) SortedBy() string { return r.meta.SortedBy }
+
+// Stats returns the zone map for column c of row group g.
+func (r *Reader) Stats(g, c int) ColStats { return r.meta.RowGroups[g].Chunks[c].Stats }
+
+// ReadColumn decodes column c of row group g.
+func (r *Reader) ReadColumn(g, c int) (*Vec, error) {
+	if g < 0 || g >= len(r.meta.RowGroups) {
+		return nil, fmt.Errorf("colfile: row group %d out of range", g)
+	}
+	rg := r.meta.RowGroups[g]
+	if c < 0 || c >= len(rg.Chunks) {
+		return nil, fmt.Errorf("colfile: column %d out of range", c)
+	}
+	ch := rg.Chunks[c]
+	if ch.Offset+ch.Length > int64(len(r.data)) {
+		return nil, errors.New("colfile: chunk out of file bounds")
+	}
+	return decodeChunk(r.data[ch.Offset:ch.Offset+ch.Length], r.meta.Schema[c].Type, rg.NumRows)
+}
+
+// ReadRowGroup decodes the given columns (all columns when cols is nil) of
+// row group g into a batch whose schema is the projection.
+func (r *Reader) ReadRowGroup(g int, cols []int) (*Batch, error) {
+	if cols == nil {
+		cols = make([]int, len(r.meta.Schema))
+		for i := range cols {
+			cols[i] = i
+		}
+	}
+	schema := make(Schema, len(cols))
+	vecs := make([]*Vec, len(cols))
+	for i, c := range cols {
+		if c < 0 || c >= len(r.meta.Schema) {
+			return nil, fmt.Errorf("colfile: column %d out of range", c)
+		}
+		schema[i] = r.meta.Schema[c]
+		v, err := r.ReadColumn(g, c)
+		if err != nil {
+			return nil, err
+		}
+		vecs[i] = v
+	}
+	return &Batch{Schema: schema, Cols: vecs}, nil
+}
+
+// ReadAll decodes the whole file into one batch (all row groups, all columns).
+func (r *Reader) ReadAll() (*Batch, error) {
+	out := NewBatch(r.meta.Schema)
+	for g := 0; g < r.NumRowGroups(); g++ {
+		b, err := r.ReadRowGroup(g, nil)
+		if err != nil {
+			return nil, err
+		}
+		out.AppendBatch(b)
+	}
+	return out, nil
+}
+
+// PruneInt reports whether row group g can be skipped for a predicate
+// col ∈ [lo, hi] using the zone map; true means provably no matching rows.
+func (r *Reader) PruneInt(g, c int, lo, hi int64) bool {
+	st := r.Stats(g, c)
+	if st.MinInt == nil || st.MaxInt == nil {
+		return false
+	}
+	return *st.MinInt > hi || *st.MaxInt < lo
+}
+
+// PruneStr is the string analogue of PruneInt.
+func (r *Reader) PruneStr(g, c int, lo, hi string) bool {
+	st := r.Stats(g, c)
+	if st.MinStr == nil || st.MaxStr == nil {
+		return false
+	}
+	return *st.MinStr > hi || *st.MaxStr < lo
+}
+
+// FileStats summarizes a file for compaction decisions (paper Section 5.1).
+type FileStats struct {
+	NumRows   int64
+	NumGroups int
+	SizeBytes int64
+}
+
+// QuickStats reads only the footer-derived statistics.
+func QuickStats(data []byte) (FileStats, error) {
+	r, err := OpenReader(data)
+	if err != nil {
+		return FileStats{}, err
+	}
+	return FileStats{NumRows: r.NumRows(), NumGroups: r.NumRowGroups(), SizeBytes: int64(len(data))}, nil
+}

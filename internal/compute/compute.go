@@ -1,0 +1,445 @@
+// Package compute simulates the elastic compute fabric Polaris runs on
+// (paper Sections 1, 3.3): a topology of compute servers, each with CPU
+// slots, an in-memory hot cache and an SSD cache over remote storage. The
+// fabric supports elastic (unbounded, cost-based) and bounded (fixed
+// capacity) allocation so the Fig. 8 experiment can compare both models.
+//
+// All timing is *simulated*: operations return the duration they would take
+// on datacenter hardware according to a calibrated cost model, while actually
+// executing at laptop scale. Benchmarks report simulated time, which is what
+// makes the paper's figure shapes reproducible without the paper's testbed.
+package compute
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"polaris/internal/objectstore"
+)
+
+// CostModel holds the calibrated constants that translate work into
+// simulated time. The defaults approximate cloud warehouse hardware:
+// remote object storage ~8ms first byte + 200MB/s per stream, SSD ~10x
+// faster, memory ~100x, and a fixed per-task scheduling overhead.
+type CostModel struct {
+	RemoteBaseLatency time.Duration
+	RemoteBytesPerSec float64
+	SSDBytesPerSec    float64
+	MemBytesPerSec    float64
+	// RowCPUCost is the simulated CPU time to process one row through one
+	// operator.
+	RowCPUCost time.Duration
+	// TaskOverhead is per-task scheduling/startup cost.
+	TaskOverhead time.Duration
+	// ProvisionDelay is the time to add a node to the topology.
+	ProvisionDelay time.Duration
+}
+
+// DefaultCostModel returns the calibrated constants used by the benchmarks.
+func DefaultCostModel() *CostModel {
+	return &CostModel{
+		RemoteBaseLatency: 8 * time.Millisecond,
+		RemoteBytesPerSec: 200e6,
+		SSDBytesPerSec:    2e9,
+		MemBytesPerSec:    20e9,
+		RowCPUCost:        120 * time.Nanosecond,
+		TaskOverhead:      15 * time.Millisecond,
+		ProvisionDelay:    2 * time.Second,
+	}
+}
+
+// RemoteRead returns the simulated duration of reading n bytes from remote
+// storage.
+func (c *CostModel) RemoteRead(n int64) time.Duration {
+	return c.RemoteBaseLatency + time.Duration(float64(n)/c.RemoteBytesPerSec*float64(time.Second))
+}
+
+// SSDRead returns the simulated duration of reading n bytes from local SSD.
+func (c *CostModel) SSDRead(n int64) time.Duration {
+	return time.Duration(float64(n) / c.SSDBytesPerSec * float64(time.Second))
+}
+
+// MemRead returns the simulated duration of reading n bytes from memory.
+func (c *CostModel) MemRead(n int64) time.Duration {
+	return time.Duration(float64(n) / c.MemBytesPerSec * float64(time.Second))
+}
+
+// RemoteWrite returns the simulated duration of writing n bytes to remote
+// storage.
+func (c *CostModel) RemoteWrite(n int64) time.Duration {
+	return c.RemoteBaseLatency + time.Duration(float64(n)/c.RemoteBytesPerSec*float64(time.Second))
+}
+
+// CPU returns the simulated duration of processing rows through an operator.
+func (c *CostModel) CPU(rows int64) time.Duration {
+	return time.Duration(rows) * c.RowCPUCost
+}
+
+// CacheStats counts cache effectiveness per node.
+type CacheStats struct {
+	MemHits, SSDHits, Misses int64
+	BytesFromRemote          int64
+}
+
+// Node is one compute server: an Execution Service + SQL Server instance in
+// the paper's architecture. Caches are write-through over the object store;
+// losing a node never loses state (paper 3.3).
+type Node struct {
+	ID    int
+	Slots int // concurrent task capacity
+
+	mu       sync.Mutex
+	alive    bool
+	memCache *lru
+	ssdCache *lru
+	stats    CacheStats
+
+	model *CostModel
+}
+
+// NewNode creates a node with the given cache capacities in bytes.
+func NewNode(id, slots int, memBytes, ssdBytes int64, model *CostModel) *Node {
+	return &Node{
+		ID: id, Slots: slots, alive: true,
+		memCache: newLRU(memBytes),
+		ssdCache: newLRU(ssdBytes),
+		model:    model,
+	}
+}
+
+// Alive reports whether the node is in the topology.
+func (n *Node) Alive() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.alive
+}
+
+// Kill removes the node from the topology, dropping its caches. In-flight
+// tasks on a killed node fail and are retried elsewhere by the DCP.
+func (n *Node) Kill() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.alive = false
+	n.memCache.clear()
+	n.ssdCache.clear()
+}
+
+// Revive returns a node to the topology with cold caches.
+func (n *Node) Revive() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.alive = true
+}
+
+// Stats returns a copy of the node's cache statistics.
+func (n *Node) Stats() CacheStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// ReadFile reads a blob through the node's cache hierarchy, returning the
+// data and the simulated time the read would take. Immutability of committed
+// files (paper Section 4) is what makes this cache trivially coherent: a
+// cached path never changes, so invalidation is never needed.
+func (n *Node) ReadFile(store *objectstore.Store, path string) ([]byte, time.Duration, error) {
+	n.mu.Lock()
+	if data, ok := n.memCache.get(path); ok {
+		n.stats.MemHits++
+		d := n.model.MemRead(int64(len(data)))
+		n.mu.Unlock()
+		return data, d, nil
+	}
+	if data, ok := n.ssdCache.get(path); ok {
+		n.stats.SSDHits++
+		n.memCache.put(path, data)
+		d := n.model.SSDRead(int64(len(data)))
+		n.mu.Unlock()
+		return data, d, nil
+	}
+	n.stats.Misses++
+	n.mu.Unlock()
+
+	data, err := store.Get(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	n.mu.Lock()
+	n.stats.BytesFromRemote += int64(len(data))
+	n.memCache.put(path, data)
+	n.ssdCache.put(path, data)
+	n.mu.Unlock()
+	return data, n.model.RemoteRead(int64(len(data))), nil
+}
+
+// WriteFile writes a blob to remote storage (write-through: the new file is
+// also warm in this node's cache) and returns simulated duration.
+func (n *Node) WriteFile(store *objectstore.Store, path string, data []byte, creatorStamp int64) (time.Duration, error) {
+	if err := store.Put(path, data, creatorStamp); err != nil {
+		return 0, err
+	}
+	n.mu.Lock()
+	n.memCache.put(path, data)
+	n.ssdCache.put(path, data)
+	n.mu.Unlock()
+	return n.model.RemoteWrite(int64(len(data))), nil
+}
+
+// InvalidateCached drops a path from this node's caches (used when a file is
+// garbage-collected; committed files are otherwise immutable).
+func (n *Node) InvalidateCached(path string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.memCache.remove(path)
+	n.ssdCache.remove(path)
+}
+
+// lru is a byte-capacity-bounded cache.
+type lru struct {
+	capacity int64
+	used     int64
+	entries  map[string]*lruEntry
+	head     *lruEntry // most recent
+	tail     *lruEntry // least recent
+}
+
+type lruEntry struct {
+	key        string
+	data       []byte
+	prev, next *lruEntry
+}
+
+func newLRU(capacity int64) *lru {
+	return &lru{capacity: capacity, entries: make(map[string]*lruEntry)}
+}
+
+func (l *lru) get(key string) ([]byte, bool) {
+	e, ok := l.entries[key]
+	if !ok {
+		return nil, false
+	}
+	l.moveToFront(e)
+	return e.data, true
+}
+
+func (l *lru) put(key string, data []byte) {
+	if int64(len(data)) > l.capacity {
+		return // larger than the whole cache
+	}
+	if e, ok := l.entries[key]; ok {
+		l.used += int64(len(data)) - int64(len(e.data))
+		e.data = data
+		l.moveToFront(e)
+	} else {
+		e := &lruEntry{key: key, data: data}
+		l.entries[key] = e
+		l.pushFront(e)
+		l.used += int64(len(data))
+	}
+	for l.used > l.capacity && l.tail != nil {
+		l.evict(l.tail)
+	}
+}
+
+func (l *lru) remove(key string) {
+	if e, ok := l.entries[key]; ok {
+		l.evict(e)
+	}
+}
+
+func (l *lru) clear() {
+	l.entries = make(map[string]*lruEntry)
+	l.head, l.tail, l.used = nil, nil, 0
+}
+
+func (l *lru) evict(e *lruEntry) {
+	l.unlink(e)
+	delete(l.entries, e.key)
+	l.used -= int64(len(e.data))
+}
+
+func (l *lru) pushFront(e *lruEntry) {
+	e.prev = nil
+	e.next = l.head
+	if l.head != nil {
+		l.head.prev = e
+	}
+	l.head = e
+	if l.tail == nil {
+		l.tail = e
+	}
+}
+
+func (l *lru) unlink(e *lruEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		l.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		l.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (l *lru) moveToFront(e *lruEntry) {
+	l.unlink(e)
+	l.pushFront(e)
+}
+
+// Fabric manages the node topology. In elastic mode (Fabric DW / serverless)
+// the pool grows to whatever a job's cost-based estimate requires; in bounded
+// mode (Synapse SQL DW gen2) the pool is capped, and oversized jobs queue on
+// fewer resources (Fig. 8).
+type Fabric struct {
+	mu       sync.Mutex
+	nodes    []*Node
+	nextID   int
+	elastic  bool
+	maxNodes int
+	model    *CostModel
+
+	memBytes, ssdBytes int64
+	slots              int
+	provisioned        int // nodes ever provisioned (elasticity metric)
+}
+
+// Config configures a Fabric.
+type Config struct {
+	Elastic   bool
+	MaxNodes  int // cap in bounded mode; ignored when Elastic
+	InitNodes int
+	SlotsPer  int
+	MemBytes  int64
+	SSDBytes  int64
+	Model     *CostModel
+}
+
+// NewFabric creates a fabric with the initial topology.
+func NewFabric(cfg Config) *Fabric {
+	if cfg.Model == nil {
+		cfg.Model = DefaultCostModel()
+	}
+	if cfg.SlotsPer == 0 {
+		cfg.SlotsPer = 4
+	}
+	if cfg.MemBytes == 0 {
+		cfg.MemBytes = 1 << 28
+	}
+	if cfg.SSDBytes == 0 {
+		cfg.SSDBytes = 1 << 31
+	}
+	f := &Fabric{
+		elastic: cfg.Elastic, maxNodes: cfg.MaxNodes, model: cfg.Model,
+		memBytes: cfg.MemBytes, ssdBytes: cfg.SSDBytes, slots: cfg.SlotsPer,
+	}
+	for i := 0; i < cfg.InitNodes; i++ {
+		f.addNodeLocked()
+	}
+	return f
+}
+
+func (f *Fabric) addNodeLocked() *Node {
+	n := NewNode(f.nextID, f.slots, f.memBytes, f.ssdBytes, f.model)
+	f.nextID++
+	f.nodes = append(f.nodes, n)
+	f.provisioned++
+	return n
+}
+
+// Model returns the fabric's cost model.
+func (f *Fabric) Model() *CostModel { return f.model }
+
+// Nodes returns the live nodes.
+func (f *Fabric) Nodes() []*Node {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]*Node, 0, len(f.nodes))
+	for _, n := range f.nodes {
+		if n.Alive() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Size returns the number of live nodes.
+func (f *Fabric) Size() int { return len(f.Nodes()) }
+
+// Provisioned returns how many nodes were ever added (elasticity metric).
+func (f *Fabric) Provisioned() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.provisioned
+}
+
+// AllocateForJob sizes the topology for a job needing `want` parallel units
+// and returns the nodes to use plus the simulated provisioning delay. In
+// elastic mode the fabric grows to ceil(want/slots) nodes; in bounded mode it
+// grows at most to MaxNodes.
+func (f *Fabric) AllocateForJob(want int) ([]*Node, time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	needNodes := (want + f.slots - 1) / f.slots
+	if needNodes < 1 {
+		needNodes = 1
+	}
+	if !f.elastic && f.maxNodes > 0 && needNodes > f.maxNodes {
+		needNodes = f.maxNodes
+	}
+	var added int
+	for f.liveCountLocked() < needNodes {
+		f.addNodeLocked()
+		added++
+	}
+	var delay time.Duration
+	if added > 0 {
+		// provisioning proceeds in parallel; one delay covers the batch
+		delay = f.model.ProvisionDelay
+	}
+	live := make([]*Node, 0, needNodes)
+	for _, n := range f.nodes {
+		if n.Alive() {
+			live = append(live, n)
+			if len(live) == needNodes {
+				break
+			}
+		}
+	}
+	return live, delay
+}
+
+func (f *Fabric) liveCountLocked() int {
+	c := 0
+	for _, n := range f.nodes {
+		if n.Alive() {
+			c++
+		}
+	}
+	return c
+}
+
+// KillNode removes node id from the topology; returns false if unknown.
+func (f *Fabric) KillNode(id int) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, n := range f.nodes {
+		if n.ID == id && n.Alive() {
+			n.Kill()
+			return true
+		}
+	}
+	return false
+}
+
+// String summarizes the topology.
+func (f *Fabric) String() string {
+	mode := "bounded"
+	if f.elastic {
+		mode = "elastic"
+	}
+	return fmt.Sprintf("fabric{%s, live=%d, provisioned=%d}", mode, f.Size(), f.Provisioned())
+}

@@ -1,0 +1,257 @@
+package compute
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"polaris/internal/objectstore"
+)
+
+func testFabric(elastic bool, maxNodes, init int) *Fabric {
+	return NewFabric(Config{
+		Elastic: elastic, MaxNodes: maxNodes, InitNodes: init,
+		SlotsPer: 4, MemBytes: 1 << 20, SSDBytes: 1 << 24,
+	})
+}
+
+func TestCostModelMonotonicity(t *testing.T) {
+	m := DefaultCostModel()
+	if m.RemoteRead(1000) >= m.RemoteRead(1_000_000) {
+		t.Fatal("remote read not monotonic in bytes")
+	}
+	if m.MemRead(1<<20) >= m.SSDRead(1<<20) || m.SSDRead(1<<20) >= m.RemoteRead(1<<20) {
+		t.Fatal("cache tiers not ordered mem < ssd < remote")
+	}
+	if m.CPU(0) != 0 || m.CPU(100) != 100*m.RowCPUCost {
+		t.Fatal("cpu cost wrong")
+	}
+}
+
+func TestNodeReadThroughCache(t *testing.T) {
+	store := objectstore.New()
+	data := make([]byte, 1000)
+	if err := store.Put("f", data, 0); err != nil {
+		t.Fatal(err)
+	}
+	n := NewNode(0, 4, 1<<20, 1<<24, DefaultCostModel())
+
+	_, d1, err := n.ReadFile(store, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, d2, err := n.ReadFile(store, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 >= d1 {
+		t.Fatalf("cached read (%v) not faster than cold read (%v)", d2, d1)
+	}
+	st := n.Stats()
+	if st.Misses != 1 || st.MemHits != 1 || st.BytesFromRemote != 1000 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestNodeSSDHitAfterMemEviction(t *testing.T) {
+	store := objectstore.New()
+	model := DefaultCostModel()
+	// mem fits one file, ssd fits many
+	n := NewNode(0, 4, 1200, 1<<24, model)
+	for i := 0; i < 3; i++ {
+		_ = store.Put(fmt.Sprintf("f%d", i), make([]byte, 1000), 0)
+	}
+	_, _, _ = n.ReadFile(store, "f0")
+	_, _, _ = n.ReadFile(store, "f1") // evicts f0 from mem, stays on ssd
+	_, _, _ = n.ReadFile(store, "f0")
+	st := n.Stats()
+	if st.SSDHits != 1 {
+		t.Fatalf("stats = %+v, want one ssd hit", st)
+	}
+}
+
+func TestNodeWriteThrough(t *testing.T) {
+	store := objectstore.New()
+	n := NewNode(0, 4, 1<<20, 1<<24, DefaultCostModel())
+	d, err := n.WriteFile(store, "out", make([]byte, 500), 7)
+	if err != nil || d <= 0 {
+		t.Fatalf("write: %v %v", d, err)
+	}
+	if !store.Exists("out") {
+		t.Fatal("write-through did not reach store")
+	}
+	_, rd, _ := n.ReadFile(store, "out")
+	if n.Stats().Misses != 0 {
+		t.Fatalf("read after write missed cache (%v)", rd)
+	}
+}
+
+func TestNodeKillDropsCaches(t *testing.T) {
+	store := objectstore.New()
+	_ = store.Put("f", make([]byte, 100), 0)
+	n := NewNode(0, 4, 1<<20, 1<<24, DefaultCostModel())
+	_, _, _ = n.ReadFile(store, "f")
+	n.Kill()
+	if n.Alive() {
+		t.Fatal("killed node alive")
+	}
+	n.Revive()
+	_, _, _ = n.ReadFile(store, "f")
+	if n.Stats().Misses != 2 {
+		t.Fatalf("revived node kept caches: %+v", n.Stats())
+	}
+}
+
+func TestInvalidateCached(t *testing.T) {
+	store := objectstore.New()
+	_ = store.Put("f", make([]byte, 100), 0)
+	n := NewNode(0, 4, 1<<20, 1<<24, DefaultCostModel())
+	_, _, _ = n.ReadFile(store, "f")
+	n.InvalidateCached("f")
+	_, _, _ = n.ReadFile(store, "f")
+	if n.Stats().Misses != 2 {
+		t.Fatalf("invalidate ineffective: %+v", n.Stats())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	l := newLRU(250)
+	l.put("a", make([]byte, 100))
+	l.put("b", make([]byte, 100))
+	if _, ok := l.get("a"); !ok {
+		t.Fatal("a evicted prematurely")
+	}
+	l.put("c", make([]byte, 100)) // must evict b (a was touched)
+	if _, ok := l.get("b"); ok {
+		t.Fatal("b should be evicted")
+	}
+	if _, ok := l.get("a"); !ok {
+		t.Fatal("a lost")
+	}
+	if _, ok := l.get("c"); !ok {
+		t.Fatal("c lost")
+	}
+}
+
+func TestLRUOversizedRejected(t *testing.T) {
+	l := newLRU(10)
+	l.put("big", make([]byte, 100))
+	if _, ok := l.get("big"); ok {
+		t.Fatal("oversized entry cached")
+	}
+	if l.used != 0 {
+		t.Fatalf("used = %d", l.used)
+	}
+}
+
+func TestLRUUpdateSameKey(t *testing.T) {
+	l := newLRU(300)
+	l.put("k", make([]byte, 100))
+	l.put("k", make([]byte, 200))
+	if l.used != 200 {
+		t.Fatalf("used = %d after update", l.used)
+	}
+	got, ok := l.get("k")
+	if !ok || len(got) != 200 {
+		t.Fatal("update lost")
+	}
+}
+
+func TestElasticAllocationGrows(t *testing.T) {
+	f := testFabric(true, 0, 1)
+	nodes, delay := f.AllocateForJob(40) // 40 units / 4 slots = 10 nodes
+	if len(nodes) != 10 {
+		t.Fatalf("allocated %d nodes", len(nodes))
+	}
+	if delay != DefaultCostModel().ProvisionDelay {
+		t.Fatalf("delay = %v", delay)
+	}
+	if f.Size() != 10 {
+		t.Fatalf("fabric size = %d", f.Size())
+	}
+	// already provisioned: no extra delay
+	_, delay2 := f.AllocateForJob(40)
+	if delay2 != 0 {
+		t.Fatalf("second allocation delay = %v", delay2)
+	}
+}
+
+func TestBoundedAllocationCaps(t *testing.T) {
+	f := testFabric(false, 3, 1)
+	nodes, _ := f.AllocateForJob(400)
+	if len(nodes) != 3 {
+		t.Fatalf("bounded fabric allocated %d nodes", len(nodes))
+	}
+	if f.Size() != 3 {
+		t.Fatalf("size = %d", f.Size())
+	}
+}
+
+func TestAllocateMinimumOneNode(t *testing.T) {
+	f := testFabric(true, 0, 0)
+	nodes, _ := f.AllocateForJob(0)
+	if len(nodes) != 1 {
+		t.Fatalf("allocated %d nodes for empty job", len(nodes))
+	}
+}
+
+func TestKillNode(t *testing.T) {
+	f := testFabric(true, 0, 3)
+	id := f.Nodes()[1].ID
+	if !f.KillNode(id) {
+		t.Fatal("kill failed")
+	}
+	if f.Size() != 2 {
+		t.Fatalf("size = %d after kill", f.Size())
+	}
+	if f.KillNode(id) {
+		t.Fatal("double kill succeeded")
+	}
+	if f.KillNode(999) {
+		t.Fatal("killing unknown node succeeded")
+	}
+	// allocation replaces lost capacity
+	nodes, _ := f.AllocateForJob(12)
+	if len(nodes) != 3 || f.Size() != 3 {
+		t.Fatalf("nodes=%d size=%d", len(nodes), f.Size())
+	}
+	if f.Provisioned() != 4 {
+		t.Fatalf("provisioned = %d", f.Provisioned())
+	}
+}
+
+func TestFabricString(t *testing.T) {
+	f := testFabric(false, 2, 1)
+	s := f.String()
+	if s == "" || s[:6] != "fabric" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestSimulatedTimesScaleWithData(t *testing.T) {
+	// The elasticity premise of Fig. 7: per-byte read cost is constant, so a
+	// 10x larger file takes ~10x longer from remote, while cache hits break
+	// that proportionality.
+	m := DefaultCostModel()
+	small := m.RemoteRead(10 << 20).Seconds()
+	big := m.RemoteRead(100 << 20).Seconds()
+	ratio := big / small
+	if ratio < 8 || ratio > 11 {
+		t.Fatalf("remote scaling ratio = %.2f", ratio)
+	}
+	if m.MemRead(100<<20) > m.RemoteRead(10<<20) {
+		t.Fatal("memory read of 100MB should beat remote read of 10MB")
+	}
+}
+
+func TestProvisionDelayConstant(t *testing.T) {
+	f := testFabric(true, 0, 0)
+	start := time.Now()
+	_, delay := f.AllocateForJob(100)
+	if time.Since(start) > 500*time.Millisecond {
+		t.Fatal("AllocateForJob slept for real; provisioning must be simulated")
+	}
+	if delay <= 0 {
+		t.Fatal("no provisioning delay reported")
+	}
+}

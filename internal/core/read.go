@@ -1,0 +1,340 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"polaris/internal/catalog"
+	"polaris/internal/colfile"
+	"polaris/internal/compute"
+	"polaris/internal/dcp"
+	"polaris/internal/deletevector"
+	"polaris/internal/exec"
+	"polaris/internal/manifest"
+)
+
+// Snapshot reconstructs the table state visible to this transaction
+// (paper 3.2.1, 4.1.1): the Manifests rows visible under catalog SI, replayed
+// over the newest usable checkpoint, overlaid with the transaction's own
+// pending changes. asOfSeq >= 0 time-travels to that commit sequence
+// (Query As Of, 6.1).
+func (t *Txn) Snapshot(table string, asOfSeq int64) (*manifest.TableState, catalog.TableMeta, error) {
+	if err := t.check(); err != nil {
+		return nil, catalog.TableMeta{}, err
+	}
+	meta, err := catalog.LookupTable(t.catTx, table)
+	if err != nil {
+		return nil, catalog.TableMeta{}, err
+	}
+	state, err := t.reconstruct(meta, asOfSeq)
+	if err != nil {
+		return nil, catalog.TableMeta{}, err
+	}
+	// Multi-statement overlay: changes of prior statements in this txn are
+	// visible to subsequent statements (3.2.3).
+	if ts, ok := t.tables[meta.ID]; ok && len(ts.actions) > 0 && asOfSeq < 0 {
+		state, err = state.Overlay(ts.actions)
+		if err != nil {
+			return nil, catalog.TableMeta{}, err
+		}
+	}
+	return state, meta, nil
+}
+
+// reconstruct builds the committed snapshot of a table as of asOfSeq
+// (negative = transaction snapshot).
+func (t *Txn) reconstruct(meta catalog.TableMeta, asOfSeq int64) (*manifest.TableState, error) {
+	rows, err := catalog.ScanManifests(t.catTx, meta.ID, asOfSeq)
+	if err != nil {
+		return nil, err
+	}
+	wantSeq := int64(0)
+	if len(rows) > 0 {
+		wantSeq = rows[len(rows)-1].Seq
+	}
+	// Snapshot cache: exact state for this sequence may already be cached.
+	if cached := t.eng.Cache.Get(meta.ID, wantSeq); cached != nil {
+		return cached, nil
+	}
+
+	// Checkpoint: load the newest checkpoint at or below the snapshot (5.2).
+	var cp *manifest.Checkpoint
+	cpRow, ok, err := catalog.LatestCheckpoint(t.catTx, meta.ID, wantSeq)
+	if err != nil {
+		return nil, err
+	}
+	node := t.anyNode()
+	if ok {
+		data, d, err := node.ReadFile(t.eng.Store, cpRow.Path)
+		if err == nil {
+			t.charge(d)
+			cp, err = manifest.UnmarshalCheckpoint(data)
+			if err != nil {
+				return nil, fmt.Errorf("core: corrupt checkpoint %s: %w", cpRow.Path, err)
+			}
+		}
+		// A missing checkpoint file is not fatal: fall back to full replay.
+	}
+
+	// Replay manifests after the checkpoint.
+	var committed []manifest.CommittedManifest
+	for _, row := range rows {
+		if cp != nil && row.Seq <= cp.Seq {
+			continue
+		}
+		data, d, err := node.ReadFile(t.eng.Store, row.ManifestFile)
+		if err != nil {
+			return nil, fmt.Errorf("core: read manifest %s: %w", row.ManifestFile, err)
+		}
+		t.charge(d)
+		actions, err := manifest.Decode(data)
+		if err != nil {
+			return nil, fmt.Errorf("core: decode manifest %s: %w", row.ManifestFile, err)
+		}
+		committed = append(committed, manifest.CommittedManifest{
+			Seq: row.Seq, Path: row.ManifestFile, Actions: actions,
+		})
+	}
+	state, err := manifest.Reconstruct(cp, committed, wantSeq)
+	if err != nil {
+		return nil, err
+	}
+	if state.LastSeq < wantSeq {
+		state.LastSeq = wantSeq // empty-manifest commits still advance
+	}
+	t.eng.Cache.Put(meta.ID, state)
+	return state, nil
+}
+
+// anyNode picks a live node for FE-side metadata IO (read pool side).
+func (t *Txn) anyNode() *compute.Node {
+	nodes := t.eng.Fabric.Nodes()
+	if len(nodes) == 0 {
+		nodes, _ = t.eng.Fabric.AllocateForJob(1)
+	}
+	return nodes[0]
+}
+
+// writeNode picks a node from the WLM write pool for FE-coordinated writes
+// (deletion vectors, compaction output, checkpoints), so maintenance IO lands
+// on write nodes and read-pool caches stay representative (paper 4.3).
+func (t *Txn) writeNode() *compute.Node {
+	nodes := t.eng.Fabric.Nodes()
+	if len(nodes) == 0 {
+		nodes, _ = t.eng.Fabric.AllocateForJob(1)
+	}
+	if t.eng.opts.WLMSeparate && len(nodes) >= 2 {
+		return nodes[len(nodes)/2]
+	}
+	return nodes[0]
+}
+
+// cellFiles holds one scan task's inputs: the files of a disjoint set of
+// cells (a distribution bucket).
+type cellFiles struct {
+	files []*manifest.FileEntry
+}
+
+// partitionCells groups a snapshot's live files into per-distribution cell
+// sets, the disjoint task inputs of the paper's data model (2.3).
+func partitionCells(state *manifest.TableState, distributions int) []cellFiles {
+	cells := make([]cellFiles, distributions)
+	for _, f := range state.LiveFiles() {
+		p := f.Partition % distributions
+		if p < 0 {
+			p += distributions
+		}
+		cells[p].files = append(cells[p].files, f)
+	}
+	return cells
+}
+
+// ScanOptions tune a table scan.
+type ScanOptions struct {
+	// Columns projects the scan; nil reads all columns.
+	Columns []string
+	// AsOfSeq time-travels the read; negative = current snapshot.
+	AsOfSeq int64
+	// Prune optionally skips row groups via zone maps.
+	Prune *exec.PruneHint
+}
+
+// Scan executes a distributed read of a table: one DCP task per non-empty
+// cell set fetches that cell's data and deletion-vector files through the
+// node cache hierarchy, charging simulated IO and CPU; the FE unions the
+// results. The returned operator streams the visible rows.
+func (t *Txn) Scan(table string, opts ScanOptions) (exec.Operator, *exec.Telemetry, error) {
+	if opts.AsOfSeq == 0 {
+		opts.AsOfSeq = -1
+	}
+	state, meta, err := t.Snapshot(table, opts.AsOfSeq)
+	if err != nil {
+		return nil, nil, err
+	}
+	return t.scanState(state, meta, opts)
+}
+
+func (t *Txn) scanState(state *manifest.TableState, meta catalog.TableMeta, opts ScanOptions) (exec.Operator, *exec.Telemetry, error) {
+	tel := &exec.Telemetry{}
+	cells := partitionCells(state, t.eng.opts.Distributions)
+
+	g := dcp.NewGraph()
+	store := t.eng.Store
+	model := t.eng.Fabric.Model()
+	var taskIDs []int
+	for i, cell := range cells {
+		if len(cell.files) == 0 {
+			continue
+		}
+		cell := cell
+		id := i + 1
+		taskIDs = append(taskIDs, id)
+		err := g.Add(&dcp.Task{
+			ID: id, Name: fmt.Sprintf("scan-%s-cell%d", meta.Name, i), Pool: dcp.ReadPool,
+			Exec: func(ctx *dcp.Ctx) (any, error) {
+				var files []exec.ScanFile
+				var rows int64
+				for _, fe := range cell.files {
+					data, d, err := ctx.Node.ReadFile(store, fe.Path)
+					if err != nil {
+						return nil, err
+					}
+					ctx.Charge(d)
+					sf := exec.ScanFile{Data: data}
+					if fe.DV != "" {
+						dvData, dd, err := ctx.Node.ReadFile(store, fe.DV)
+						if err != nil {
+							return nil, err
+						}
+						ctx.Charge(dd)
+						dv, err := deletevector.Unmarshal(dvData)
+						if err != nil {
+							return nil, fmt.Errorf("core: corrupt dv %s: %w", fe.DV, err)
+						}
+						sf.DV = dv
+					}
+					files = append(files, sf)
+					// Merge-on-read scans pay for physical rows: deleted
+					// rows are read and filtered out at scan time (2.1).
+					rows += fe.Rows
+				}
+				ctx.Charge(model.CPU(rows)) // per-cell scan CPU
+				return files, nil
+			},
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	if len(taskIDs) == 0 {
+		// Empty table: an empty scan with the table schema.
+		s, err := exec.NewScan(nil, opts.Columns, opts.Prune, tel)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := s.SetSchema(meta.Schema); err != nil {
+			return nil, nil, err
+		}
+		return s, tel, nil
+	}
+
+	nodes, delay := t.eng.Fabric.AllocateForJob(len(taskIDs))
+	res, err := dcp.Run(g, t.eng.pools(nodes), dcp.Options{
+		MaxAttempts:     t.eng.opts.MaxTaskAttempts,
+		Overhead:        model.TaskOverhead,
+		StartOffset:     delay,
+		FailureInjector: t.eng.opts.TaskFailureInjector,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	t.charge(res.Makespan)
+
+	var ops []exec.Operator
+	for _, out := range dcp.Gather(res, taskIDs) {
+		files := out.([]exec.ScanFile)
+		s, err := exec.NewScan(files, opts.Columns, opts.Prune, tel)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := s.SetSchema(meta.Schema); err != nil {
+			return nil, nil, err
+		}
+		ops = append(ops, s)
+	}
+	return &exec.UnionAll{Ins: ops}, tel, nil
+}
+
+// ReadAll is a convenience that scans a table and materializes all rows.
+func (t *Txn) ReadAll(table string) (*ResultSet, error) {
+	op, tel, err := t.Scan(table, ScanOptions{})
+	if err != nil {
+		return nil, err
+	}
+	b, err := exec.Collect(op)
+	if err != nil {
+		return nil, err
+	}
+	// FE-side operator CPU.
+	t.charge(t.eng.Fabric.Model().CPU(tel.RowsProcessed.Load()))
+	return &ResultSet{Batch: b}, nil
+}
+
+// ResultSet is a materialized query result.
+type ResultSet struct {
+	Batch *colfile.Batch
+}
+
+// NumRows returns the number of rows in the result.
+func (r *ResultSet) NumRows() int { return r.Batch.NumRows() }
+
+// Row materializes row i as Go values.
+func (r *ResultSet) Row(i int) []any { return r.Batch.Row(i) }
+
+// Columns returns the result column names.
+func (r *ResultSet) Columns() []string {
+	out := make([]string, len(r.Batch.Schema))
+	for i, f := range r.Batch.Schema {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// TableStats summarizes a table snapshot for the STO and for SHOW commands.
+type TableStats struct {
+	Name       string
+	TableID    int64
+	Files      int
+	Rows       int64
+	Deleted    int64
+	SizeBytes  int64
+	Manifests  int
+	LastSeq    int64
+	Health     manifest.Health
+	SnapshotAt time.Time
+}
+
+// Stats reports storage statistics for a table (the coarse statistics the BE
+// pushes to the STO in Section 5.1).
+func (t *Txn) Stats(table string) (TableStats, error) {
+	state, meta, err := t.Snapshot(table, -1)
+	if err != nil {
+		return TableStats{}, err
+	}
+	rows, err := catalog.ScanManifests(t.catTx, meta.ID, -1)
+	if err != nil {
+		return TableStats{}, err
+	}
+	h := state.AssessHealth(t.eng.opts.CompactSmallRows, t.eng.opts.CompactDeletedFrac)
+	var deleted int64
+	for _, f := range state.Files {
+		deleted += f.DeletedRows
+	}
+	return TableStats{
+		Name: meta.Name, TableID: meta.ID,
+		Files: len(state.Files), Rows: state.TotalRows(), Deleted: deleted,
+		SizeBytes: state.TotalSize(), Manifests: len(rows), LastSeq: state.LastSeq,
+		Health: h, SnapshotAt: time.Now(),
+	}, nil
+}

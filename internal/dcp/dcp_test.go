@@ -1,0 +1,353 @@
+package dcp
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"polaris/internal/compute"
+)
+
+func pools(readNodes, writeNodes int) (Pools, *compute.Fabric) {
+	f := compute.NewFabric(compute.Config{Elastic: true, InitNodes: readNodes + writeNodes, SlotsPer: 2})
+	nodes := f.Nodes()
+	return Pools{
+		ReadPool:  nodes[:readNodes],
+		WritePool: nodes[readNodes:],
+	}, f
+}
+
+func simpleTask(id int, deps []int, out any, sim time.Duration) *Task {
+	return &Task{
+		ID: id, Name: fmt.Sprintf("t%d", id), Deps: deps,
+		Exec: func(ctx *Ctx) (any, error) {
+			ctx.Charge(sim)
+			return out, nil
+		},
+	}
+}
+
+func TestLinearChain(t *testing.T) {
+	g := NewGraph()
+	must(t, g.Add(simpleTask(1, nil, "a", 10*time.Millisecond)))
+	must(t, g.Add(simpleTask(2, []int{1}, "b", 10*time.Millisecond)))
+	must(t, g.Add(simpleTask(3, []int{2}, "c", 10*time.Millisecond)))
+	p, _ := pools(2, 1)
+	res, err := Run(g, p, Options{Overhead: time.Millisecond})
+	must(t, err)
+	if res.Outputs[3] != "c" || len(res.Outputs) != 3 {
+		t.Fatalf("outputs = %v", res.Outputs)
+	}
+	// serialized: makespan >= 3 * (10ms + 1ms overhead)
+	if res.Makespan < 33*time.Millisecond {
+		t.Fatalf("makespan = %v, want >= 33ms for a serial chain", res.Makespan)
+	}
+}
+
+func TestParallelFanOutOverlaps(t *testing.T) {
+	g := NewGraph()
+	for i := 1; i <= 8; i++ {
+		must(t, g.Add(simpleTask(i, nil, i, 10*time.Millisecond)))
+	}
+	p, _ := pools(2, 1) // 2 nodes x 2 slots = 4 lanes
+	res, err := Run(g, p, Options{Overhead: time.Millisecond})
+	must(t, err)
+	// 8 tasks over 4 lanes: 2 waves => ~22ms, far below serial 88ms
+	if res.Makespan > 40*time.Millisecond {
+		t.Fatalf("makespan = %v, want parallel overlap", res.Makespan)
+	}
+	if res.Makespan < 20*time.Millisecond {
+		t.Fatalf("makespan = %v, too low for 2 waves", res.Makespan)
+	}
+}
+
+func TestInputsFlowToChildren(t *testing.T) {
+	g := NewGraph()
+	must(t, g.Add(simpleTask(1, nil, int64(20), 0)))
+	must(t, g.Add(simpleTask(2, nil, int64(22), 0)))
+	must(t, g.Add(&Task{
+		ID: 3, Deps: []int{1, 2},
+		Exec: func(ctx *Ctx) (any, error) {
+			return ctx.Inputs[1].(int64) + ctx.Inputs[2].(int64), nil
+		},
+	}))
+	p, _ := pools(1, 1)
+	res, err := Run(g, p, Options{})
+	must(t, err)
+	if res.Outputs[3] != int64(42) {
+		t.Fatalf("sum = %v", res.Outputs[3])
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	g := NewGraph()
+	must(t, g.Add(simpleTask(1, []int{2}, nil, 0)))
+	must(t, g.Add(simpleTask(2, []int{1}, nil, 0)))
+	p, _ := pools(1, 1)
+	if _, err := Run(g, p, Options{}); err == nil {
+		t.Fatal("cycle accepted")
+	}
+}
+
+func TestUnknownDependency(t *testing.T) {
+	g := NewGraph()
+	must(t, g.Add(simpleTask(1, []int{99}, nil, 0)))
+	p, _ := pools(1, 1)
+	if _, err := Run(g, p, Options{}); err == nil {
+		t.Fatal("unknown dep accepted")
+	}
+}
+
+func TestGraphValidation(t *testing.T) {
+	g := NewGraph()
+	if err := g.Add(&Task{ID: 1}); err == nil {
+		t.Fatal("task without Exec accepted")
+	}
+	must(t, g.Add(simpleTask(1, nil, nil, 0)))
+	if err := g.Add(simpleTask(1, nil, nil, 0)); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	if g.Len() != 1 {
+		t.Fatalf("len = %d", g.Len())
+	}
+}
+
+func TestRetryOnTransientFailure(t *testing.T) {
+	g := NewGraph()
+	var calls int32
+	must(t, g.Add(&Task{
+		ID: 1,
+		Exec: func(ctx *Ctx) (any, error) {
+			if atomic.AddInt32(&calls, 1) < 3 {
+				return nil, errors.New("transient")
+			}
+			return "ok", nil
+		},
+	}))
+	p, _ := pools(2, 1)
+	res, err := Run(g, p, Options{MaxAttempts: 3})
+	must(t, err)
+	if res.Outputs[1] != "ok" || res.Retries != 2 {
+		t.Fatalf("out=%v retries=%d", res.Outputs[1], res.Retries)
+	}
+	if res.PerTask[1].Attempts != 3 {
+		t.Fatalf("attempts = %d", res.PerTask[1].Attempts)
+	}
+}
+
+func TestPermanentFailure(t *testing.T) {
+	g := NewGraph()
+	must(t, g.Add(&Task{
+		ID:   1,
+		Name: "doomed",
+		Exec: func(ctx *Ctx) (any, error) { return nil, errors.New("boom") },
+	}))
+	must(t, g.Add(simpleTask(2, []int{1}, "never", 0)))
+	p, _ := pools(1, 1)
+	_, err := Run(g, p, Options{MaxAttempts: 2})
+	if err == nil {
+		t.Fatal("permanent failure not reported")
+	}
+}
+
+func TestFailureInjectorRePlacement(t *testing.T) {
+	// The failed attempt's Exec runs (side effects persist), its output is
+	// discarded, and the retry lands on a different node.
+	g := NewGraph()
+	var nodesSeen []int
+	must(t, g.Add(&Task{
+		ID: 1,
+		Exec: func(ctx *Ctx) (any, error) {
+			nodesSeen = append(nodesSeen, ctx.Node.ID)
+			return fmt.Sprintf("attempt-%d", ctx.Attempt), nil
+		},
+	}))
+	p, _ := pools(3, 1)
+	injected := false
+	opts := Options{
+		MaxAttempts: 3,
+		FailureInjector: func(taskID, attempt int, node *compute.Node) error {
+			if attempt == 1 && !injected {
+				injected = true
+				return errors.New("injected node failure")
+			}
+			return nil
+		},
+	}
+	res, err := Run(g, p, opts)
+	must(t, err)
+	if res.Retries != 1 {
+		t.Fatalf("retries = %d", res.Retries)
+	}
+	if len(nodesSeen) != 2 || nodesSeen[0] == nodesSeen[1] {
+		t.Fatalf("re-placement failed: nodes = %v", nodesSeen)
+	}
+	if res.Outputs[1] != "attempt-2" {
+		t.Fatalf("failed attempt's output survived: %v", res.Outputs[1])
+	}
+}
+
+func TestDeadNodesSkipped(t *testing.T) {
+	p, f := pools(2, 1)
+	f.KillNode(p[ReadPool][0].ID)
+	g := NewGraph()
+	var node int
+	must(t, g.Add(&Task{ID: 1, Exec: func(ctx *Ctx) (any, error) {
+		node = ctx.Node.ID
+		return nil, nil
+	}}))
+	res, err := Run(g, p, Options{})
+	must(t, err)
+	if node != p[ReadPool][1].ID {
+		t.Fatalf("task placed on dead node %d", res.PerTask[1].Node)
+	}
+}
+
+func TestAllNodesDead(t *testing.T) {
+	p, f := pools(1, 1)
+	f.KillNode(p[ReadPool][0].ID)
+	g := NewGraph()
+	must(t, g.Add(simpleTask(1, nil, nil, 0)))
+	if _, err := Run(g, p, Options{}); !errors.Is(err, ErrNoNodes) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWLMSeparation(t *testing.T) {
+	p, _ := pools(2, 2)
+	readIDs := map[int]bool{p[ReadPool][0].ID: true, p[ReadPool][1].ID: true}
+	g := NewGraph()
+	for i := 1; i <= 4; i++ {
+		pool := ReadPool
+		if i%2 == 0 {
+			pool = WritePool
+		}
+		id := i
+		must(t, g.Add(&Task{ID: id, Pool: pool, Exec: func(ctx *Ctx) (any, error) {
+			return ctx.Node.ID, nil
+		}}))
+	}
+	res, err := Run(g, p, Options{})
+	must(t, err)
+	for id, out := range res.Outputs {
+		onRead := readIDs[out.(int)]
+		wantRead := id%2 == 1
+		if onRead != wantRead {
+			t.Fatalf("task %d ran on wrong pool (node %v)", id, out)
+		}
+	}
+}
+
+func TestWritesDoNotDelayReadsUnderWLM(t *testing.T) {
+	// With separated pools, heavy write tasks must not inflate read makespan.
+	makespanFor := func(shared bool) time.Duration {
+		f := compute.NewFabric(compute.Config{Elastic: true, InitNodes: 2, SlotsPer: 1})
+		nodes := f.Nodes()
+		var p Pools
+		if shared {
+			p = Pools{ReadPool: nodes, WritePool: nodes}
+		} else {
+			p = Pools{ReadPool: nodes[:1], WritePool: nodes[1:]}
+		}
+		g := NewGraph()
+		// 4 heavy writes + 4 light reads
+		for i := 1; i <= 4; i++ {
+			must(nil, g.Add(simpleTaskPool(i, WritePool, 100*time.Millisecond)))
+			must(nil, g.Add(simpleTaskPool(10+i, ReadPool, time.Millisecond)))
+		}
+		res, err := Run(g, p, Options{Overhead: time.Nanosecond})
+		if err != nil {
+			panic(err)
+		}
+		var readEnd time.Duration
+		for i := 11; i <= 14; i++ {
+			if res.PerTask[i].VirtEnd > readEnd {
+				readEnd = res.PerTask[i].VirtEnd
+			}
+		}
+		return readEnd
+	}
+	separated := makespanFor(false)
+	shared := makespanFor(true)
+	if separated >= shared {
+		t.Fatalf("WLM separation did not help reads: separated=%v shared=%v", separated, shared)
+	}
+}
+
+func simpleTaskPool(id int, pool PoolKind, sim time.Duration) *Task {
+	return &Task{ID: id, Pool: pool, Exec: func(ctx *Ctx) (any, error) {
+		ctx.Charge(sim)
+		return nil, nil
+	}}
+}
+
+func TestStartOffsetShiftsMakespan(t *testing.T) {
+	g := NewGraph()
+	must(t, g.Add(simpleTask(1, nil, nil, 10*time.Millisecond)))
+	p, _ := pools(1, 1)
+	res, err := Run(g, p, Options{StartOffset: time.Second, Overhead: 0})
+	must(t, err)
+	if res.Makespan < time.Second+10*time.Millisecond {
+		t.Fatalf("makespan = %v", res.Makespan)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	p, _ := pools(1, 1)
+	res, err := Run(NewGraph(), p, Options{})
+	must(t, err)
+	if res.Makespan != 0 || len(res.Outputs) != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestGather(t *testing.T) {
+	res := &Result{Outputs: map[int]any{3: "c", 1: "a", 2: "b"}}
+	got := Gather(res, []int{2, 3, 1})
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Fatalf("gather = %v", got)
+	}
+}
+
+func TestMoreNodesShrinkMakespan(t *testing.T) {
+	// The elasticity premise: the same task set on a bigger topology has a
+	// smaller simulated makespan (Fig. 8's mechanism).
+	build := func() *Graph {
+		g := NewGraph()
+		for i := 1; i <= 32; i++ {
+			_ = g.Add(simpleTask(i, nil, nil, 50*time.Millisecond))
+		}
+		return g
+	}
+	run := func(nodes int) time.Duration {
+		f := compute.NewFabric(compute.Config{Elastic: true, InitNodes: nodes, SlotsPer: 2})
+		res, err := Run(build(), Pools{ReadPool: f.Nodes(), WritePool: f.Nodes()}, Options{Overhead: 0})
+		if err != nil {
+			panic(err)
+		}
+		return res.Makespan
+	}
+	small := run(2)  // 4 lanes: 8 waves
+	large := run(16) // 32 lanes: 1 wave
+	if large >= small {
+		t.Fatalf("scale-out did not help: %v vs %v", large, small)
+	}
+	ratio := float64(small) / float64(large)
+	if ratio < 4 {
+		t.Fatalf("speedup ratio = %.1f, want >= 4", ratio)
+	}
+}
+
+func must(t *testing.T, err error) {
+	if t != nil {
+		t.Helper()
+	}
+	if err != nil {
+		if t == nil {
+			panic(err)
+		}
+		t.Fatal(err)
+	}
+}

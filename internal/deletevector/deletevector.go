@@ -1,0 +1,224 @@
+// Package deletevector implements the compressed row-deletion bitmaps that
+// merge-on-read log-structured tables attach to immutable data files
+// (paper Section 2.1). A delete vector marks row ordinals within one data
+// file as deleted; readers filter marked rows out at scan time.
+//
+// The representation is a sorted set of [start,end) runs, which compresses
+// both the sparse case (trickle deletes) and the dense case (bulk deletes of
+// contiguous ranges) well, and makes Union — needed when a later statement in
+// the same transaction deletes more rows from the same file — linear.
+package deletevector
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Vector is a set of deleted row ordinals for a single data file.
+// The zero value is an empty vector ready for use.
+type Vector struct {
+	runs []run // sorted, non-overlapping, non-adjacent
+}
+
+type run struct{ start, end uint32 } // [start, end)
+
+// New returns an empty delete vector.
+func New() *Vector { return &Vector{} }
+
+// FromRows builds a vector from an arbitrary list of row ordinals.
+func FromRows(rows []uint32) *Vector {
+	v := New()
+	if len(rows) == 0 {
+		return v
+	}
+	sorted := append([]uint32(nil), rows...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	start := sorted[0]
+	prev := sorted[0]
+	for _, r := range sorted[1:] {
+		if r == prev || r == prev+1 {
+			prev = r
+			continue
+		}
+		v.runs = append(v.runs, run{start, prev + 1})
+		start, prev = r, r
+	}
+	v.runs = append(v.runs, run{start, prev + 1})
+	return v
+}
+
+// Add marks a single row as deleted.
+func (v *Vector) Add(row uint32) { v.AddRange(row, row+1) }
+
+// AddRange marks rows in [start, end) as deleted.
+func (v *Vector) AddRange(start, end uint32) {
+	if start >= end {
+		return
+	}
+	// Find insertion window of runs overlapping or adjacent to [start,end).
+	i := sort.Search(len(v.runs), func(i int) bool { return v.runs[i].end >= start })
+	j := i
+	ns, ne := start, end
+	for j < len(v.runs) && v.runs[j].start <= end {
+		if v.runs[j].start < ns {
+			ns = v.runs[j].start
+		}
+		if v.runs[j].end > ne {
+			ne = v.runs[j].end
+		}
+		j++
+	}
+	merged := make([]run, 0, len(v.runs)-(j-i)+1)
+	merged = append(merged, v.runs[:i]...)
+	merged = append(merged, run{ns, ne})
+	merged = append(merged, v.runs[j:]...)
+	v.runs = merged
+}
+
+// Contains reports whether the row is marked deleted.
+func (v *Vector) Contains(row uint32) bool {
+	i := sort.Search(len(v.runs), func(i int) bool { return v.runs[i].end > row })
+	return i < len(v.runs) && v.runs[i].start <= row
+}
+
+// Cardinality returns the number of deleted rows.
+func (v *Vector) Cardinality() int {
+	var n int
+	for _, r := range v.runs {
+		n += int(r.end - r.start)
+	}
+	return n
+}
+
+// IsEmpty reports whether no rows are deleted.
+func (v *Vector) IsEmpty() bool { return len(v.runs) == 0 }
+
+// Union merges another vector into this one (in place) and returns v.
+// This implements the paper's "merged version" of a delete vector when a
+// statement deletes rows from a file that already has a delete vector.
+func (v *Vector) Union(o *Vector) *Vector {
+	if o == nil {
+		return v
+	}
+	for _, r := range o.runs {
+		v.AddRange(r.start, r.end)
+	}
+	return v
+}
+
+// Clone returns a deep copy.
+func (v *Vector) Clone() *Vector {
+	return &Vector{runs: append([]run(nil), v.runs...)}
+}
+
+// Rows returns all deleted row ordinals in ascending order.
+func (v *Vector) Rows() []uint32 {
+	out := make([]uint32, 0, v.Cardinality())
+	for _, r := range v.runs {
+		for x := r.start; x < r.end; x++ {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// ForEachRun calls fn for each maximal deleted run [start,end) in order.
+func (v *Vector) ForEachRun(fn func(start, end uint32)) {
+	for _, r := range v.runs {
+		fn(r.start, r.end)
+	}
+}
+
+// Equal reports whether two vectors mark exactly the same rows.
+func (v *Vector) Equal(o *Vector) bool {
+	if len(v.runs) != len(o.runs) {
+		return false
+	}
+	for i, r := range v.runs {
+		if o.runs[i] != r {
+			return false
+		}
+	}
+	return true
+}
+
+// FilterMask returns a boolean slice of length n where true means the row
+// survives (is NOT deleted). Rows at or beyond n are ignored.
+func (v *Vector) FilterMask(n int) []bool {
+	mask := make([]bool, n)
+	for i := range mask {
+		mask[i] = true
+	}
+	for _, r := range v.runs {
+		for x := r.start; x < r.end && int(x) < n; x++ {
+			mask[x] = false
+		}
+	}
+	return mask
+}
+
+const magic = uint32(0x44564543) // "DVEC"
+
+// Marshal serializes the vector: magic, run count, then delta-varint runs.
+func (v *Vector) Marshal() []byte {
+	buf := make([]byte, 0, 8+len(v.runs)*4)
+	buf = binary.LittleEndian.AppendUint32(buf, magic)
+	buf = binary.AppendUvarint(buf, uint64(len(v.runs)))
+	var prevEnd uint32
+	for _, r := range v.runs {
+		buf = binary.AppendUvarint(buf, uint64(r.start-prevEnd))
+		buf = binary.AppendUvarint(buf, uint64(r.end-r.start))
+		prevEnd = r.end
+	}
+	return buf
+}
+
+// Unmarshal parses a serialized vector.
+func Unmarshal(data []byte) (*Vector, error) {
+	if len(data) < 4 || binary.LittleEndian.Uint32(data[:4]) != magic {
+		return nil, errors.New("deletevector: bad magic")
+	}
+	p := data[4:]
+	n, k := binary.Uvarint(p)
+	if k <= 0 {
+		return nil, errors.New("deletevector: truncated run count")
+	}
+	p = p[k:]
+	v := New()
+	var prevEnd uint32
+	for i := uint64(0); i < n; i++ {
+		gap, k1 := binary.Uvarint(p)
+		if k1 <= 0 {
+			return nil, fmt.Errorf("deletevector: truncated run %d start", i)
+		}
+		p = p[k1:]
+		length, k2 := binary.Uvarint(p)
+		if k2 <= 0 || length == 0 {
+			return nil, fmt.Errorf("deletevector: truncated or empty run %d", i)
+		}
+		p = p[k2:]
+		start := prevEnd + uint32(gap)
+		end := start + uint32(length)
+		v.runs = append(v.runs, run{start, end})
+		prevEnd = end
+	}
+	return v, nil
+}
+
+// String renders the runs for debugging.
+func (v *Vector) String() string {
+	s := "dv{"
+	for i, r := range v.runs {
+		if i > 0 {
+			s += ","
+		}
+		if r.end == r.start+1 {
+			s += fmt.Sprintf("%d", r.start)
+		} else {
+			s += fmt.Sprintf("%d-%d", r.start, r.end-1)
+		}
+	}
+	return s + "}"
+}

@@ -1,0 +1,243 @@
+package deletevector
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	v := New()
+	if !v.IsEmpty() || v.Cardinality() != 0 || v.Contains(0) {
+		t.Fatalf("empty vector misbehaves: %v", v)
+	}
+}
+
+func TestAddAndContains(t *testing.T) {
+	v := New()
+	v.Add(5)
+	v.Add(7)
+	v.Add(6)
+	if !v.Contains(5) || !v.Contains(6) || !v.Contains(7) {
+		t.Fatalf("missing rows: %v", v)
+	}
+	if v.Contains(4) || v.Contains(8) {
+		t.Fatalf("extra rows: %v", v)
+	}
+	if v.Cardinality() != 3 {
+		t.Fatalf("cardinality = %d", v.Cardinality())
+	}
+	if len(v.runs) != 1 {
+		t.Fatalf("adjacent adds should coalesce into one run: %v", v)
+	}
+}
+
+func TestAddRangeMerging(t *testing.T) {
+	v := New()
+	v.AddRange(10, 20)
+	v.AddRange(30, 40)
+	v.AddRange(15, 35) // bridges both
+	if len(v.runs) != 1 || v.runs[0] != (run{10, 40}) {
+		t.Fatalf("runs = %v", v.runs)
+	}
+	v.AddRange(40, 45) // adjacent extends
+	if len(v.runs) != 1 || v.runs[0] != (run{10, 45}) {
+		t.Fatalf("adjacent extend failed: %v", v.runs)
+	}
+	v.AddRange(0, 0) // empty no-op
+	if v.Cardinality() != 35 {
+		t.Fatalf("cardinality = %d", v.Cardinality())
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	v := FromRows([]uint32{9, 1, 2, 3, 7, 9, 9})
+	if v.Cardinality() != 5 {
+		t.Fatalf("cardinality = %d, want 5 (dups collapse)", v.Cardinality())
+	}
+	want := []uint32{1, 2, 3, 7, 9}
+	got := v.Rows()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rows = %v, want %v", got, want)
+		}
+	}
+	if FromRows(nil).Cardinality() != 0 {
+		t.Fatal("FromRows(nil) not empty")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := FromRows([]uint32{1, 2, 3})
+	b := FromRows([]uint32{3, 4, 10})
+	a.Union(b)
+	if a.Cardinality() != 5 {
+		t.Fatalf("cardinality = %d", a.Cardinality())
+	}
+	for _, r := range []uint32{1, 2, 3, 4, 10} {
+		if !a.Contains(r) {
+			t.Fatalf("missing %d after union", r)
+		}
+	}
+	a.Union(nil) // nil is a no-op
+	if a.Cardinality() != 5 {
+		t.Fatal("union with nil changed vector")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromRows([]uint32{1, 5})
+	b := a.Clone()
+	b.Add(9)
+	if a.Contains(9) {
+		t.Fatal("clone aliases parent")
+	}
+	if !a.Equal(FromRows([]uint32{1, 5})) {
+		t.Fatal("parent mutated")
+	}
+}
+
+func TestFilterMask(t *testing.T) {
+	v := FromRows([]uint32{0, 2, 9})
+	mask := v.FilterMask(5)
+	want := []bool{false, true, false, true, true}
+	for i := range want {
+		if mask[i] != want[i] {
+			t.Fatalf("mask = %v, want %v", mask, want)
+		}
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	v := FromRows([]uint32{0, 1, 2, 100, 5000, 5001})
+	data := v.Marshal()
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(v) {
+		t.Fatalf("round trip: got %v, want %v", got, v)
+	}
+}
+
+func TestMarshalEmpty(t *testing.T) {
+	data := New().Marshal()
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsEmpty() {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestUnmarshalCorrupt(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 2, 3},
+		{0x43, 0x45, 0x56, 0x44, 0xFF}, // magic ok, truncated count varint... 0xFF needs continuation
+	}
+	for i, c := range cases {
+		if _, err := Unmarshal(c); err == nil {
+			t.Fatalf("case %d: corrupt input accepted", i)
+		}
+	}
+}
+
+func TestForEachRun(t *testing.T) {
+	v := FromRows([]uint32{1, 2, 3, 10})
+	var got [][2]uint32
+	v.ForEachRun(func(s, e uint32) { got = append(got, [2]uint32{s, e}) })
+	if len(got) != 2 || got[0] != [2]uint32{1, 4} || got[1] != [2]uint32{10, 11} {
+		t.Fatalf("runs = %v", got)
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	v := FromRows([]uint32{1, 3, 4, 5})
+	if s := v.String(); s != "dv{1,3-5}" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestPropertySetSemantics(t *testing.T) {
+	// A Vector behaves exactly like a set of uint32s (bounded domain so runs merge).
+	f := func(rows []uint16) bool {
+		set := map[uint32]bool{}
+		v := New()
+		for _, r := range rows {
+			v.Add(uint32(r))
+			set[uint32(r)] = true
+		}
+		if v.Cardinality() != len(set) {
+			return false
+		}
+		for r := range set {
+			if !v.Contains(r) {
+				return false
+			}
+		}
+		// round-trip preserves equality
+		back, err := Unmarshal(v.Marshal())
+		return err == nil && back.Equal(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyUnionIsSetUnion(t *testing.T) {
+	f := func(a, b []uint16) bool {
+		va, vb := New(), New()
+		set := map[uint32]bool{}
+		for _, r := range a {
+			va.Add(uint32(r))
+			set[uint32(r)] = true
+		}
+		for _, r := range b {
+			vb.Add(uint32(r))
+			set[uint32(r)] = true
+		}
+		va.Union(vb)
+		if va.Cardinality() != len(set) {
+			return false
+		}
+		for r := range set {
+			if !va.Contains(r) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomizedAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	v := New()
+	ref := map[uint32]bool{}
+	for i := 0; i < 2000; i++ {
+		start := uint32(rng.Intn(1000))
+		length := uint32(rng.Intn(20) + 1)
+		v.AddRange(start, start+length)
+		for x := start; x < start+length; x++ {
+			ref[x] = true
+		}
+	}
+	if v.Cardinality() != len(ref) {
+		t.Fatalf("cardinality = %d, ref = %d", v.Cardinality(), len(ref))
+	}
+	for x := uint32(0); x < 1100; x++ {
+		if v.Contains(x) != ref[x] {
+			t.Fatalf("Contains(%d) = %v, ref %v", x, v.Contains(x), ref[x])
+		}
+	}
+	// runs must be sorted, non-overlapping, non-adjacent
+	for i := 1; i < len(v.runs); i++ {
+		if v.runs[i].start <= v.runs[i-1].end {
+			t.Fatalf("runs not normalized: %v", v.runs)
+		}
+	}
+}

@@ -1,0 +1,406 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"polaris/internal/colfile"
+)
+
+// JoinType selects join semantics.
+type JoinType int
+
+// Supported joins.
+const (
+	InnerJoin JoinType = iota
+	LeftOuterJoin
+	SemiJoin // EXISTS-style: emit left rows with >=1 match, left schema only
+)
+
+// HashJoin is a build/probe equi-join. The right child is the build side.
+type HashJoin struct {
+	Left, Right Operator
+	// LeftKeys and RightKeys are column indexes into each child's schema.
+	LeftKeys, RightKeys []int
+	Type                JoinType
+	Tel                 *Telemetry
+
+	built  bool
+	table  map[string][]int
+	buildB *colfile.Batch
+	schema colfile.Schema
+}
+
+// Schema implements Operator.
+func (j *HashJoin) Schema() colfile.Schema {
+	if j.schema == nil {
+		l := j.Left.Schema()
+		if j.Type == SemiJoin {
+			j.schema = l
+		} else {
+			j.schema = append(append(colfile.Schema{}, l...), j.Right.Schema()...)
+		}
+	}
+	return j.schema
+}
+
+func (j *HashJoin) build() error {
+	all, err := Collect(j.Right)
+	if err != nil {
+		return err
+	}
+	j.buildB = all
+	j.table = make(map[string][]int, all.NumRows())
+	for i := 0; i < all.NumRows(); i++ {
+		k, ok := hashKeyAt(all, j.RightKeys, i)
+		if !ok {
+			continue // NULL keys never match
+		}
+		j.table[k] = append(j.table[k], i)
+	}
+	if j.Tel != nil {
+		j.Tel.RowsProcessed.Add(int64(all.NumRows()))
+	}
+	j.built = true
+	return nil
+}
+
+// Next implements Operator.
+func (j *HashJoin) Next() (*colfile.Batch, error) {
+	if !j.built {
+		if err := j.build(); err != nil {
+			return nil, err
+		}
+	}
+	for {
+		lb, err := j.Left.Next()
+		if err != nil || lb == nil {
+			return nil, err
+		}
+		if j.Tel != nil {
+			j.Tel.RowsProcessed.Add(int64(lb.NumRows()))
+		}
+		out := colfile.NewBatch(j.Schema())
+		for i := 0; i < lb.NumRows(); i++ {
+			k, ok := hashKeyAt(lb, j.LeftKeys, i)
+			var matches []int
+			if ok {
+				matches = j.table[k]
+			}
+			switch j.Type {
+			case SemiJoin:
+				if len(matches) > 0 {
+					appendJoined(out, lb, i, nil, -1, len(lb.Cols))
+				}
+			case InnerJoin:
+				for _, m := range matches {
+					appendJoined(out, lb, i, j.buildB, m, len(lb.Cols))
+				}
+			case LeftOuterJoin:
+				if len(matches) == 0 {
+					appendJoined(out, lb, i, nil, -1, len(lb.Cols))
+				} else {
+					for _, m := range matches {
+						appendJoined(out, lb, i, j.buildB, m, len(lb.Cols))
+					}
+				}
+			}
+		}
+		if out.NumRows() > 0 {
+			return out, nil
+		}
+	}
+}
+
+// hashKeyAt builds a string key for the given columns at row i; ok=false when
+// any key is NULL.
+func hashKeyAt(b *colfile.Batch, keys []int, i int) (string, bool) {
+	var sb strings.Builder
+	for _, c := range keys {
+		v := b.Cols[c]
+		if v.IsNull(i) {
+			return "", false
+		}
+		fmt.Fprintf(&sb, "%v\x00", v.Value(i))
+	}
+	return sb.String(), true
+}
+
+// appendJoined emits left row i concatenated with build row m (or NULLs for
+// the right side when m < 0 and the schema includes it).
+func appendJoined(out *colfile.Batch, lb *colfile.Batch, i int, rb *colfile.Batch, m, leftCols int) {
+	for c := 0; c < leftCols; c++ {
+		out.Cols[c].Append(lb.Cols[c], i)
+	}
+	if len(out.Cols) == leftCols {
+		return // semi join
+	}
+	for c := leftCols; c < len(out.Cols); c++ {
+		if m < 0 {
+			out.Cols[c].AppendNull()
+		} else {
+			out.Cols[c].Append(rb.Cols[c-leftCols], m)
+		}
+	}
+}
+
+// AggKind enumerates aggregate functions.
+type AggKind int
+
+// Aggregates.
+const (
+	AggCount AggKind = iota
+	AggCountStar
+	AggSum
+	AggMin
+	AggMax
+	AggAvg
+)
+
+var aggNames = map[AggKind]string{
+	AggCount: "count", AggCountStar: "count(*)", AggSum: "sum",
+	AggMin: "min", AggMax: "max", AggAvg: "avg",
+}
+
+// AggSpec is one aggregate in a HashAgg.
+type AggSpec struct {
+	Kind AggKind
+	Arg  Expr // nil for COUNT(*)
+	Name string
+}
+
+// HashAgg groups by key expressions and computes aggregates.
+type HashAgg struct {
+	In      Operator
+	GroupBy []Expr
+	Aggs    []AggSpec
+	Tel     *Telemetry
+
+	schema colfile.Schema
+	done   bool
+}
+
+type aggState struct {
+	groupVals []any
+	count     []int64
+	sumF      []float64
+	sumI      []int64
+	isFloat   []bool
+	minmax    []any
+	seen      []bool
+}
+
+// Schema implements Operator.
+func (h *HashAgg) Schema() colfile.Schema {
+	if h.schema != nil {
+		return h.schema
+	}
+	in := h.In.Schema()
+	for i, g := range h.GroupBy {
+		t, err := g.Type(in)
+		if err != nil {
+			t = colfile.Int64
+		}
+		name := g.String()
+		_ = i
+		h.schema = append(h.schema, colfile.Field{Name: name, Type: t})
+	}
+	for _, a := range h.Aggs {
+		t := colfile.Int64
+		switch a.Kind {
+		case AggAvg:
+			t = colfile.Float64
+		case AggSum, AggMin, AggMax:
+			if a.Arg != nil {
+				if at, err := a.Arg.Type(in); err == nil {
+					t = at
+				}
+			}
+			if a.Kind == AggSum && t == colfile.Bool {
+				t = colfile.Int64
+			}
+		}
+		name := a.Name
+		if name == "" {
+			if a.Arg != nil {
+				name = fmt.Sprintf("%s(%s)", aggNames[a.Kind], a.Arg)
+			} else {
+				name = aggNames[a.Kind]
+			}
+		}
+		h.schema = append(h.schema, colfile.Field{Name: name, Type: t})
+	}
+	return h.schema
+}
+
+// Next implements Operator.
+func (h *HashAgg) Next() (*colfile.Batch, error) {
+	if h.done {
+		return nil, nil
+	}
+	h.done = true
+	groups := make(map[string]*aggState)
+	var order []string
+
+	for {
+		b, err := h.In.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		if h.Tel != nil {
+			h.Tel.RowsProcessed.Add(int64(b.NumRows()))
+		}
+		keyVecs := make([]*colfile.Vec, len(h.GroupBy))
+		for i, g := range h.GroupBy {
+			v, err := g.Eval(b)
+			if err != nil {
+				return nil, err
+			}
+			keyVecs[i] = v
+		}
+		argVecs := make([]*colfile.Vec, len(h.Aggs))
+		for i, a := range h.Aggs {
+			if a.Arg != nil {
+				v, err := a.Arg.Eval(b)
+				if err != nil {
+					return nil, err
+				}
+				argVecs[i] = v
+			}
+		}
+		for r := 0; r < b.NumRows(); r++ {
+			var kb strings.Builder
+			vals := make([]any, len(keyVecs))
+			for i, kv := range keyVecs {
+				if kv.IsNull(r) {
+					kb.WriteString("\x01NULL\x00")
+					vals[i] = nil
+				} else {
+					fmt.Fprintf(&kb, "%v\x00", kv.Value(r))
+					vals[i] = kv.Value(r)
+				}
+			}
+			key := kb.String()
+			st, ok := groups[key]
+			if !ok {
+				st = &aggState{
+					groupVals: vals,
+					count:     make([]int64, len(h.Aggs)),
+					sumF:      make([]float64, len(h.Aggs)),
+					sumI:      make([]int64, len(h.Aggs)),
+					isFloat:   make([]bool, len(h.Aggs)),
+					minmax:    make([]any, len(h.Aggs)),
+					seen:      make([]bool, len(h.Aggs)),
+				}
+				groups[key] = st
+				order = append(order, key)
+			}
+			for i, a := range h.Aggs {
+				if a.Kind == AggCountStar {
+					st.count[i]++
+					continue
+				}
+				v := argVecs[i]
+				if v.IsNull(r) {
+					continue // aggregates skip NULLs
+				}
+				st.count[i]++
+				switch a.Kind {
+				case AggSum, AggAvg:
+					switch v.Type {
+					case colfile.Int64:
+						st.sumI[i] += v.Ints[r]
+						st.sumF[i] += float64(v.Ints[r])
+					case colfile.Float64:
+						st.isFloat[i] = true
+						st.sumF[i] += v.Floats[r]
+					default:
+						return nil, fmt.Errorf("exec: SUM over %s", v.Type)
+					}
+				case AggMin, AggMax:
+					cur := v.Value(r)
+					if !st.seen[i] {
+						st.minmax[i] = cur
+						st.seen[i] = true
+						continue
+					}
+					c := compareAny(cur, st.minmax[i])
+					if (a.Kind == AggMin && c < 0) || (a.Kind == AggMax && c > 0) {
+						st.minmax[i] = cur
+					}
+				}
+			}
+		}
+	}
+
+	// Global aggregate with no groups and no input still yields one row.
+	if len(h.GroupBy) == 0 && len(order) == 0 {
+		st := &aggState{
+			count:   make([]int64, len(h.Aggs)),
+			sumF:    make([]float64, len(h.Aggs)),
+			sumI:    make([]int64, len(h.Aggs)),
+			isFloat: make([]bool, len(h.Aggs)),
+			minmax:  make([]any, len(h.Aggs)),
+			seen:    make([]bool, len(h.Aggs)),
+		}
+		groups[""] = st
+		order = append(order, "")
+	}
+
+	out := colfile.NewBatch(h.Schema())
+	for _, key := range order {
+		st := groups[key]
+		row := make([]any, 0, len(h.GroupBy)+len(h.Aggs))
+		row = append(row, st.groupVals...)
+		for i, a := range h.Aggs {
+			switch a.Kind {
+			case AggCount, AggCountStar:
+				row = append(row, st.count[i])
+			case AggSum:
+				if st.count[i] == 0 {
+					row = append(row, nil)
+				} else if st.isFloat[i] || h.schema[len(h.GroupBy)+i].Type == colfile.Float64 {
+					row = append(row, st.sumF[i])
+				} else {
+					row = append(row, st.sumI[i])
+				}
+			case AggAvg:
+				if st.count[i] == 0 {
+					row = append(row, nil)
+				} else {
+					row = append(row, st.sumF[i]/float64(st.count[i]))
+				}
+			case AggMin, AggMax:
+				if !st.seen[i] {
+					row = append(row, nil)
+				} else {
+					row = append(row, st.minmax[i])
+				}
+			}
+		}
+		if err := out.AppendRow(row...); err != nil {
+			return nil, err
+		}
+	}
+	if out.NumRows() == 0 {
+		return nil, nil
+	}
+	return out, nil
+}
+
+func compareAny(a, b any) int {
+	switch x := a.(type) {
+	case int64:
+		return cmpOrd(x, b.(int64))
+	case float64:
+		return cmpOrd(x, b.(float64))
+	case string:
+		return strings.Compare(x, b.(string))
+	case bool:
+		return cmpOrd(b2i(x), b2i(b.(bool)))
+	}
+	return 0
+}

@@ -1,0 +1,508 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"polaris/internal/colfile"
+	"polaris/internal/deletevector"
+)
+
+// Telemetry counts work done by operators; the transaction layer converts
+// these into simulated CPU time via the compute cost model.
+type Telemetry struct {
+	RowsScanned   atomic.Int64
+	RowsProcessed atomic.Int64
+	BytesScanned  atomic.Int64
+	GroupsPruned  atomic.Int64
+}
+
+// Operator is a pull-based batch iterator. Next returns nil at end of stream.
+type Operator interface {
+	Schema() colfile.Schema
+	Next() (*colfile.Batch, error)
+}
+
+// DefaultBatchSize is the row-count target per batch.
+const DefaultBatchSize = 4096
+
+// ScanFile is one input to a Scan: a sealed colfile plus its deletion vector.
+type ScanFile struct {
+	Data []byte
+	DV   *deletevector.Vector // nil when no rows are deleted
+}
+
+// PruneHint lets the scan skip row groups using zone maps: row groups whose
+// [min,max] for column Col cannot intersect [Lo,Hi] are skipped.
+type PruneHint struct {
+	Col    string
+	Lo, Hi int64
+}
+
+// Scan reads a set of immutable columnar files, filters deleted rows via the
+// deletion vector (merge-on-read, paper Section 2.1), prunes row groups via
+// zone maps, and projects the requested columns.
+type Scan struct {
+	files   []ScanFile
+	cols    []string // nil = all
+	hint    *PruneHint
+	tel     *Telemetry
+	schema  colfile.Schema
+	colIdxs []int
+
+	fileIdx  int
+	reader   *colfile.Reader
+	groupIdx int
+	rowBase  uint32 // global row ordinal of current group within current file
+	prepared bool
+}
+
+// NewScan builds a scan operator. The schema is taken from the first file;
+// all files must share it. An empty file list yields an empty stream with a
+// nil schema unless SetSchema is called.
+func NewScan(files []ScanFile, cols []string, hint *PruneHint, tel *Telemetry) (*Scan, error) {
+	s := &Scan{files: files, cols: cols, hint: hint, tel: tel}
+	if len(files) > 0 {
+		r, err := colfile.OpenReader(files[0].Data)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.project(r.Schema()); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// SetSchema supplies the schema for an empty scan.
+func (s *Scan) SetSchema(schema colfile.Schema) error {
+	if s.schema != nil {
+		return nil
+	}
+	return s.project(schema)
+}
+
+func (s *Scan) project(full colfile.Schema) error {
+	if s.cols == nil {
+		s.schema = full
+		s.colIdxs = nil
+		return nil
+	}
+	s.colIdxs = make([]int, len(s.cols))
+	s.schema = make(colfile.Schema, len(s.cols))
+	for i, name := range s.cols {
+		idx := full.ColIndex(name)
+		if idx < 0 {
+			return fmt.Errorf("exec: unknown column %q", name)
+		}
+		s.colIdxs[i] = idx
+		s.schema[i] = full[idx]
+	}
+	return nil
+}
+
+// Schema implements Operator.
+func (s *Scan) Schema() colfile.Schema { return s.schema }
+
+// Next implements Operator.
+func (s *Scan) Next() (*colfile.Batch, error) {
+	for {
+		if s.reader == nil {
+			if s.fileIdx >= len(s.files) {
+				return nil, nil
+			}
+			r, err := colfile.OpenReader(s.files[s.fileIdx].Data)
+			if err != nil {
+				return nil, err
+			}
+			if s.schema == nil {
+				if err := s.project(r.Schema()); err != nil {
+					return nil, err
+				}
+			} else if !s.fullSchemaMatches(r.Schema()) {
+				return nil, fmt.Errorf("exec: file %d schema mismatch", s.fileIdx)
+			}
+			s.reader = r
+			s.groupIdx = 0
+			s.rowBase = 0
+			if s.tel != nil {
+				s.tel.BytesScanned.Add(int64(len(s.files[s.fileIdx].Data)))
+			}
+		}
+		if s.groupIdx >= s.reader.NumRowGroups() {
+			s.reader = nil
+			s.fileIdx++
+			continue
+		}
+		g := s.groupIdx
+		s.groupIdx++
+		groupRows := s.reader.RowGroupRows(g)
+		base := s.rowBase
+		s.rowBase += uint32(groupRows)
+
+		if s.hint != nil {
+			c := s.reader.Schema().ColIndex(s.hint.Col)
+			if c >= 0 && s.reader.PruneInt(g, c, s.hint.Lo, s.hint.Hi) {
+				if s.tel != nil {
+					s.tel.GroupsPruned.Add(1)
+				}
+				continue
+			}
+		}
+
+		batch, err := s.reader.ReadRowGroup(g, s.colIdxs)
+		if err != nil {
+			return nil, err
+		}
+		if s.tel != nil {
+			s.tel.RowsScanned.Add(int64(groupRows))
+		}
+		dv := s.files[s.fileIdx].DV
+		if dv != nil && !dv.IsEmpty() {
+			keep := make([]bool, groupRows)
+			kept := 0
+			for i := range keep {
+				if !dv.Contains(base + uint32(i)) {
+					keep[i] = true
+					kept++
+				}
+			}
+			if kept == 0 {
+				continue
+			}
+			if kept < groupRows {
+				batch = batch.Filter(keep)
+			}
+		}
+		if batch.NumRows() == 0 {
+			continue
+		}
+		return batch, nil
+	}
+}
+
+func (s *Scan) fullSchemaMatches(other colfile.Schema) bool {
+	if s.colIdxs == nil {
+		return s.schema.Equal(other)
+	}
+	for i, idx := range s.colIdxs {
+		if idx >= len(other) || other[idx] != s.schema[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// BatchSource exposes a pre-materialized batch as an operator (exchange input
+// or VALUES clause).
+type BatchSource struct {
+	batch *colfile.Batch
+	done  bool
+}
+
+// NewBatchSource wraps a batch.
+func NewBatchSource(b *colfile.Batch) *BatchSource { return &BatchSource{batch: b} }
+
+// Schema implements Operator.
+func (s *BatchSource) Schema() colfile.Schema { return s.batch.Schema }
+
+// Next implements Operator.
+func (s *BatchSource) Next() (*colfile.Batch, error) {
+	if s.done || s.batch.NumRows() == 0 {
+		return nil, nil
+	}
+	s.done = true
+	return s.batch, nil
+}
+
+// Filter passes through rows where the predicate evaluates to true
+// (NULL is not true).
+type Filter struct {
+	In   Operator
+	Pred Expr
+	Tel  *Telemetry
+}
+
+// Schema implements Operator.
+func (f *Filter) Schema() colfile.Schema { return f.In.Schema() }
+
+// Next implements Operator.
+func (f *Filter) Next() (*colfile.Batch, error) {
+	for {
+		b, err := f.In.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		pv, err := f.Pred.Eval(b)
+		if err != nil {
+			return nil, err
+		}
+		if pv.Type != colfile.Bool {
+			return nil, fmt.Errorf("exec: predicate yields %s, not bool", pv.Type)
+		}
+		if f.Tel != nil {
+			f.Tel.RowsProcessed.Add(int64(b.NumRows()))
+		}
+		keep := make([]bool, b.NumRows())
+		kept := 0
+		for i := range keep {
+			if !pv.IsNull(i) && pv.Bools[i] {
+				keep[i] = true
+				kept++
+			}
+		}
+		if kept == 0 {
+			continue
+		}
+		if kept == b.NumRows() {
+			return b, nil
+		}
+		return b.Filter(keep), nil
+	}
+}
+
+// Project computes output expressions per row.
+type Project struct {
+	In    Operator
+	Exprs []Expr
+	Names []string
+	Tel   *Telemetry
+
+	schema colfile.Schema
+}
+
+// Schema implements Operator.
+func (p *Project) Schema() colfile.Schema {
+	if p.schema == nil {
+		in := p.In.Schema()
+		p.schema = make(colfile.Schema, len(p.Exprs))
+		for i, e := range p.Exprs {
+			t, err := e.Type(in)
+			if err != nil {
+				t = colfile.Int64
+			}
+			name := ""
+			if i < len(p.Names) {
+				name = p.Names[i]
+			}
+			if name == "" {
+				name = e.String()
+			}
+			p.schema[i] = colfile.Field{Name: name, Type: t}
+		}
+	}
+	return p.schema
+}
+
+// Next implements Operator.
+func (p *Project) Next() (*colfile.Batch, error) {
+	b, err := p.In.Next()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	if p.Tel != nil {
+		p.Tel.RowsProcessed.Add(int64(b.NumRows()))
+	}
+	out := &colfile.Batch{Schema: p.Schema(), Cols: make([]*colfile.Vec, len(p.Exprs))}
+	for i, e := range p.Exprs {
+		v, err := e.Eval(b)
+		if err != nil {
+			return nil, err
+		}
+		out.Cols[i] = v
+	}
+	return out, nil
+}
+
+// Limit stops after N rows (with optional offset).
+type Limit struct {
+	In     Operator
+	N      int64
+	Offset int64
+
+	skipped, emitted int64
+}
+
+// Schema implements Operator.
+func (l *Limit) Schema() colfile.Schema { return l.In.Schema() }
+
+// Next implements Operator.
+func (l *Limit) Next() (*colfile.Batch, error) {
+	for {
+		if l.emitted >= l.N {
+			return nil, nil
+		}
+		b, err := l.In.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		n := int64(b.NumRows())
+		if l.skipped < l.Offset {
+			toSkip := l.Offset - l.skipped
+			if n <= toSkip {
+				l.skipped += n
+				continue
+			}
+			b = sliceBatch(b, int(toSkip), int(n))
+			l.skipped = l.Offset
+			n = int64(b.NumRows())
+		}
+		if l.emitted+n > l.N {
+			b = sliceBatch(b, 0, int(l.N-l.emitted))
+		}
+		l.emitted += int64(b.NumRows())
+		return b, nil
+	}
+}
+
+func sliceBatch(b *colfile.Batch, lo, hi int) *colfile.Batch {
+	out := &colfile.Batch{Schema: b.Schema, Cols: make([]*colfile.Vec, len(b.Cols))}
+	for i, v := range b.Cols {
+		out.Cols[i] = v.Slice(lo, hi)
+	}
+	return out
+}
+
+// UnionAll concatenates child streams (the exchange/gather operator: BE task
+// outputs are unioned at the FE or at repartition boundaries).
+type UnionAll struct {
+	Ins []Operator
+	idx int
+}
+
+// Schema implements Operator.
+func (u *UnionAll) Schema() colfile.Schema {
+	if len(u.Ins) == 0 {
+		return nil
+	}
+	return u.Ins[0].Schema()
+}
+
+// Next implements Operator.
+func (u *UnionAll) Next() (*colfile.Batch, error) {
+	for u.idx < len(u.Ins) {
+		b, err := u.Ins[u.idx].Next()
+		if err != nil {
+			return nil, err
+		}
+		if b != nil {
+			return b, nil
+		}
+		u.idx++
+	}
+	return nil, nil
+}
+
+// Collect drains an operator into a single batch.
+func Collect(op Operator) (*colfile.Batch, error) {
+	out := colfile.NewBatch(op.Schema())
+	for {
+		b, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return out, nil
+		}
+		if out.Schema == nil {
+			out = colfile.NewBatch(b.Schema)
+		}
+		out.AppendBatch(b)
+	}
+}
+
+// Sort materializes the input and emits it ordered by the given keys.
+type Sort struct {
+	In   Operator
+	Keys []SortKey
+	Tel  *Telemetry
+
+	out  *colfile.Batch
+	done bool
+}
+
+// SortKey orders by a column index.
+type SortKey struct {
+	Col  int
+	Desc bool
+}
+
+// Schema implements Operator.
+func (s *Sort) Schema() colfile.Schema { return s.In.Schema() }
+
+// Next implements Operator.
+func (s *Sort) Next() (*colfile.Batch, error) {
+	if s.done {
+		return nil, nil
+	}
+	all, err := Collect(s.In)
+	if err != nil {
+		return nil, err
+	}
+	s.done = true
+	n := all.NumRows()
+	if n == 0 {
+		return nil, nil
+	}
+	if s.Tel != nil {
+		s.Tel.RowsProcessed.Add(int64(n))
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		for _, k := range s.Keys {
+			c := all.Cols[k.Col]
+			cmp := compareVecRows(c, ia, ib)
+			if cmp == 0 {
+				continue
+			}
+			if k.Desc {
+				return cmp > 0
+			}
+			return cmp < 0
+		}
+		return false
+	})
+	out := colfile.NewBatch(all.Schema)
+	for _, i := range idx {
+		for c := range out.Cols {
+			out.Cols[c].Append(all.Cols[c], i)
+		}
+	}
+	return out, nil
+}
+
+// compareVecRows orders NULLs first, then by value.
+func compareVecRows(v *colfile.Vec, a, b int) int {
+	an, bn := v.IsNull(a), v.IsNull(b)
+	switch {
+	case an && bn:
+		return 0
+	case an:
+		return -1
+	case bn:
+		return 1
+	}
+	switch v.Type {
+	case colfile.Int64:
+		return cmpOrd(v.Ints[a], v.Ints[b])
+	case colfile.Float64:
+		return cmpOrd(v.Floats[a], v.Floats[b])
+	case colfile.String:
+		switch {
+		case v.Strs[a] < v.Strs[b]:
+			return -1
+		case v.Strs[a] > v.Strs[b]:
+			return 1
+		default:
+			return 0
+		}
+	case colfile.Bool:
+		return cmpOrd(b2i(v.Bools[a]), b2i(v.Bools[b]))
+	}
+	return 0
+}

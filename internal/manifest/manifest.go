@@ -1,0 +1,255 @@
+// Package manifest implements Polaris's physical metadata layer (paper
+// Sections 2.2, 3.2): transaction manifest files that record the changes a
+// committed transaction made to a log-structured table, snapshot
+// reconstruction by incremental replay, manifest checkpoints, and the
+// Delta-log-style publishing transform used for async lake snapshots.
+//
+// A manifest file is a sequence of JSON-lines actions. Each BE task
+// serializes its actions as one block of the shared transaction manifest
+// blob; the SQL FE commits the aggregated block list (see objectstore).
+// Because blocks are self-delimiting JSON lines, concatenation of blocks in
+// any task order yields a valid manifest.
+package manifest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Op is the kind of change an action records.
+type Op string
+
+// Action operations.
+const (
+	OpAdd    Op = "add"
+	OpRemove Op = "remove"
+)
+
+// Kind is the kind of file an action refers to.
+type Kind string
+
+// File kinds.
+const (
+	KindData Kind = "data"
+	KindDV   Kind = "dv"
+)
+
+// Action is one line of a transaction manifest: add or remove one data file
+// or deletion-vector file.
+type Action struct {
+	Op   Op     `json:"op"`
+	Kind Kind   `json:"kind"`
+	Path string `json:"path"`
+	// Rows and Size describe a data file (KindData).
+	Rows int64 `json:"rows,omitempty"`
+	Size int64 `json:"size,omitempty"`
+	// Target is the data file a deletion vector applies to (KindDV).
+	Target string `json:"target,omitempty"`
+	// DeletedRows is the cardinality of a deletion vector (KindDV).
+	DeletedRows int64 `json:"deleted_rows,omitempty"`
+	// Partition is the distribution bucket the file belongs to, d(r) in the
+	// paper's cell model.
+	Partition int `json:"partition,omitempty"`
+}
+
+// Validate checks structural invariants of a single action.
+func (a Action) Validate() error {
+	if a.Op != OpAdd && a.Op != OpRemove {
+		return fmt.Errorf("manifest: bad op %q", a.Op)
+	}
+	if a.Kind != KindData && a.Kind != KindDV {
+		return fmt.Errorf("manifest: bad kind %q", a.Kind)
+	}
+	if a.Path == "" {
+		return fmt.Errorf("manifest: empty path")
+	}
+	if a.Kind == KindDV && a.Target == "" {
+		return fmt.Errorf("manifest: dv action %s missing target", a.Path)
+	}
+	return nil
+}
+
+// Encode serializes actions as JSON lines — the payload of one manifest block.
+func Encode(actions []Action) []byte {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, a := range actions {
+		_ = enc.Encode(a) // Action contains no unencodable values
+	}
+	return buf.Bytes()
+}
+
+// Decode parses a manifest file (or block) back into actions.
+func Decode(data []byte) ([]Action, error) {
+	var out []Action
+	dec := json.NewDecoder(bytes.NewReader(data))
+	for dec.More() {
+		var a Action
+		if err := dec.Decode(&a); err != nil {
+			return nil, fmt.Errorf("manifest: decode action %d: %w", len(out), err)
+		}
+		if err := a.Validate(); err != nil {
+			return nil, fmt.Errorf("manifest: action %d: %w", len(out), err)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// FileEntry is the live state of one data file within a table snapshot.
+type FileEntry struct {
+	Path        string `json:"path"`
+	Rows        int64  `json:"rows"`
+	Size        int64  `json:"size"`
+	Partition   int    `json:"partition"`
+	DV          string `json:"dv,omitempty"`           // current deletion-vector file, if any
+	DeletedRows int64  `json:"deleted_rows,omitempty"` // cardinality of DV
+	AddedSeq    int64  `json:"added_seq"`              // commit sequence that added the file
+}
+
+// LiveRows returns the visible row count of the file.
+func (f *FileEntry) LiveRows() int64 { return f.Rows - f.DeletedRows }
+
+// Tombstone records a file that was logically removed, and when.
+type Tombstone struct {
+	Path       string `json:"path"`
+	Kind       Kind   `json:"kind"`
+	RemovedSeq int64  `json:"removed_seq"`
+}
+
+// TableState is a reconstructed snapshot of a log-structured table.
+type TableState struct {
+	Files      map[string]*FileEntry `json:"files"`
+	Tombstones []Tombstone           `json:"tombstones,omitempty"`
+	LastSeq    int64                 `json:"last_seq"` // highest sequence replayed
+}
+
+// NewTableState returns an empty state.
+func NewTableState() *TableState {
+	return &TableState{Files: make(map[string]*FileEntry)}
+}
+
+// Clone deep-copies the state.
+func (s *TableState) Clone() *TableState {
+	out := &TableState{
+		Files:      make(map[string]*FileEntry, len(s.Files)),
+		Tombstones: append([]Tombstone(nil), s.Tombstones...),
+		LastSeq:    s.LastSeq,
+	}
+	for p, f := range s.Files {
+		cp := *f
+		out.Files[p] = &cp
+	}
+	return out
+}
+
+// Apply replays one committed manifest (its actions) at the given commit
+// sequence onto the state. Replay is how the SQL BE physical metadata layer
+// reconstructs a snapshot (paper 3.2.1).
+func (s *TableState) Apply(seq int64, actions []Action) error {
+	for _, a := range actions {
+		switch {
+		case a.Kind == KindData && a.Op == OpAdd:
+			s.Files[a.Path] = &FileEntry{
+				Path: a.Path, Rows: a.Rows, Size: a.Size,
+				Partition: a.Partition, AddedSeq: seq,
+			}
+		case a.Kind == KindData && a.Op == OpRemove:
+			if _, ok := s.Files[a.Path]; !ok {
+				return fmt.Errorf("manifest: remove of unknown data file %s at seq %d", a.Path, seq)
+			}
+			delete(s.Files, a.Path)
+			s.Tombstones = append(s.Tombstones, Tombstone{Path: a.Path, Kind: KindData, RemovedSeq: seq})
+		case a.Kind == KindDV && a.Op == OpAdd:
+			f, ok := s.Files[a.Target]
+			if !ok {
+				return fmt.Errorf("manifest: dv %s targets unknown data file %s at seq %d", a.Path, a.Target, seq)
+			}
+			f.DV = a.Path
+			f.DeletedRows = a.DeletedRows
+		case a.Kind == KindDV && a.Op == OpRemove:
+			f, ok := s.Files[a.Target]
+			if ok && f.DV == a.Path {
+				f.DV = ""
+				f.DeletedRows = 0
+			}
+			s.Tombstones = append(s.Tombstones, Tombstone{Path: a.Path, Kind: KindDV, RemovedSeq: seq})
+		}
+	}
+	if seq > s.LastSeq {
+		s.LastSeq = seq
+	}
+	return nil
+}
+
+// LiveFiles returns the live file entries sorted by path.
+func (s *TableState) LiveFiles() []*FileEntry {
+	out := make([]*FileEntry, 0, len(s.Files))
+	for _, f := range s.Files {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// TotalRows returns the number of visible rows across live files.
+func (s *TableState) TotalRows() int64 {
+	var n int64
+	for _, f := range s.Files {
+		n += f.LiveRows()
+	}
+	return n
+}
+
+// TotalSize returns the byte footprint of live data files.
+func (s *TableState) TotalSize() int64 {
+	var n int64
+	for _, f := range s.Files {
+		n += f.Size
+	}
+	return n
+}
+
+// Overlay applies an uncommitted transaction manifest on top of a committed
+// snapshot, producing the view a subsequent statement of the same transaction
+// must see (paper 3.2.3). The committed state is not modified.
+func (s *TableState) Overlay(actions []Action) (*TableState, error) {
+	out := s.Clone()
+	if err := out.Apply(s.LastSeq, actions); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Health summarizes storage quality for compaction decisions (paper 5.1).
+type Health struct {
+	NumFiles        int
+	SmallFiles      int // files under the small-file threshold
+	FragmentedFiles int // files whose deleted-row ratio exceeds threshold
+	TotalRows       int64
+	DeletedRows     int64
+}
+
+// Healthy reports whether no file needs compaction.
+func (h Health) Healthy() bool { return h.SmallFiles == 0 && h.FragmentedFiles == 0 }
+
+// AssessHealth scans live files against compaction thresholds: files with
+// fewer than smallRows rows are "small"; files whose deleted fraction exceeds
+// maxDeletedFrac are "fragmented".
+func (s *TableState) AssessHealth(smallRows int64, maxDeletedFrac float64) Health {
+	var h Health
+	for _, f := range s.Files {
+		h.NumFiles++
+		h.TotalRows += f.Rows
+		h.DeletedRows += f.DeletedRows
+		if f.Rows < smallRows {
+			h.SmallFiles++
+		}
+		if f.Rows > 0 && float64(f.DeletedRows)/float64(f.Rows) > maxDeletedFrac {
+			h.FragmentedFiles++
+		}
+	}
+	return h
+}

@@ -1,0 +1,126 @@
+package objectstore
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// OpKind identifies a storage operation class for latency and fault modeling.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpPut OpKind = iota
+	OpGet
+	OpDelete
+	OpList
+	OpStage
+	OpCommit
+	opKinds
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpPut:
+		return "put"
+	case OpGet:
+		return "get"
+	case OpDelete:
+		return "delete"
+	case OpList:
+		return "list"
+	case OpStage:
+		return "stage"
+	case OpCommit:
+		return "commit"
+	default:
+		return "unknown"
+	}
+}
+
+// LatencyModel approximates remote-storage timing: each operation pays a base
+// latency plus a transfer time proportional to payload size. A Scale of 0
+// disables sleeping entirely (pure accounting), which benches use to measure
+// simulated rather than wall-clock time.
+type LatencyModel struct {
+	Base       [opKinds]time.Duration
+	BytesPerNS float64 // throughput: bytes transferred per nanosecond
+	Scale      float64 // multiplier on real sleeps; 0 = account only
+
+	mu        sync.Mutex
+	simulated time.Duration // accumulated simulated time
+}
+
+// DefaultLatency returns a model with cloud-object-store-shaped constants:
+// ~2ms metadata ops, ~8ms first-byte for data ops, ~1 GiB/s transfer.
+// Scale 0 means the model only accounts time; callers that want wall-clock
+// realism can set Scale to 1.
+func DefaultLatency() *LatencyModel {
+	m := &LatencyModel{BytesPerNS: 1.0, Scale: 0}
+	m.Base[OpPut] = 8 * time.Millisecond
+	m.Base[OpGet] = 8 * time.Millisecond
+	m.Base[OpDelete] = 2 * time.Millisecond
+	m.Base[OpList] = 4 * time.Millisecond
+	m.Base[OpStage] = 6 * time.Millisecond
+	m.Base[OpCommit] = 10 * time.Millisecond
+	return m
+}
+
+func (m *LatencyModel) apply(op OpKind, bytes int) {
+	d := m.Base[op]
+	if m.BytesPerNS > 0 && bytes > 0 {
+		d += time.Duration(float64(bytes) / m.BytesPerNS)
+	}
+	m.mu.Lock()
+	m.simulated += d
+	m.mu.Unlock()
+	if m.Scale > 0 {
+		time.Sleep(time.Duration(float64(d) * m.Scale))
+	}
+}
+
+// Simulated returns the total simulated time accumulated across operations.
+func (m *LatencyModel) Simulated() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.simulated
+}
+
+// FaultInjector returns transient errors with a configured probability per
+// operation kind. It is deterministic given its seed.
+type FaultInjector struct {
+	mu   sync.Mutex
+	rng  *rand.Rand
+	prob [opKinds]float64
+}
+
+// NewFaultInjector creates an injector with no failures configured.
+func NewFaultInjector(seed int64) *FaultInjector {
+	return &FaultInjector{rng: rand.New(rand.NewSource(seed))}
+}
+
+// SetProbability sets the transient-failure probability for an operation kind.
+func (f *FaultInjector) SetProbability(op OpKind, p float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.prob[op] = p
+}
+
+// SetAll sets the same probability for every operation kind.
+func (f *FaultInjector) SetAll(p float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i := range f.prob {
+		f.prob[i] = p
+	}
+}
+
+func (f *FaultInjector) maybeFail(op OpKind) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if p := f.prob[op]; p > 0 && f.rng.Float64() < p {
+		return ErrTransient
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+// Package sql implements the T-SQL subset Polaris's SQL FE compiles
+// (paper 3.3): DDL, DML, queries with joins and aggregation, explicit
+// transaction control, and the lineage extensions (AS OF time travel, CLONE,
+// RESTORE). Compilation is consolidated in the FE — there is no BE-side
+// compilation stage — matching the paper's single-phase query optimization.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexer tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol
+)
+
+type token struct {
+	kind tokKind
+	text string // keywords uppercased; idents as written; symbols literal
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "ASC": true, "DESC": true, "LIMIT": true,
+	"OFFSET": true, "AS": true, "OF": true, "JOIN": true, "INNER": true,
+	"LEFT": true, "OUTER": true, "ON": true, "AND": true, "OR": true,
+	"NOT": true, "NULL": true, "IS": true, "IN": true, "LIKE": true,
+	"BETWEEN": true, "INSERT": true, "INTO": true, "VALUES": true,
+	"UPDATE": true, "SET": true, "DELETE": true, "CREATE": true,
+	"TABLE": true, "DROP": true, "BEGIN": true, "COMMIT": true,
+	"ROLLBACK": true, "TRANSACTION": true, "INT": true, "BIGINT": true,
+	"FLOAT": true, "VARCHAR": true, "TEXT": true, "BOOL": true,
+	"BOOLEAN": true, "TRUE": true, "FALSE": true, "WITH": true,
+	"DISTRIBUTION": true, "COUNT": true, "SUM": true, "AVG": true,
+	"MIN": true, "MAX": true, "CLONE": true, "TO": true, "RESTORE": true,
+	"SHOW": true, "TABLES": true, "STATS": true, "EXISTS": true, "IF": true,
+	"COMPACT": true, "CHECKPOINT": true, "VACUUM": true, "DOUBLE": true,
+}
+
+// lex tokenizes the input; errors carry byte positions.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && src[i+1] == '-': // comment to EOL
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < n && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			word := src[i:j]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, token{tokKeyword, up, i})
+			} else {
+				toks = append(toks, token{tokIdent, word, i})
+			}
+			i = j
+		case unicode.IsDigit(rune(c)) || (c == '.' && i+1 < n && unicode.IsDigit(rune(src[i+1]))):
+			j := i
+			seenDot := false
+			for j < n && (unicode.IsDigit(rune(src[j])) || (src[j] == '.' && !seenDot)) {
+				if src[j] == '.' {
+					seenDot = true
+				}
+				j++
+			}
+			toks = append(toks, token{tokNumber, src[i:j], i})
+			i = j
+		case c == '\'':
+			j := i + 1
+			var sb strings.Builder
+			for {
+				if j >= n {
+					return nil, fmt.Errorf("sql: unterminated string at %d", i)
+				}
+				if src[j] == '\'' {
+					if j+1 < n && src[j+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			toks = append(toks, token{tokString, sb.String(), i})
+			i = j + 1
+		default:
+			// multi-char symbols first
+			for _, sym := range []string{"<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", "*", "+", "-", "/", "%", ".", ";"} {
+				if strings.HasPrefix(src[i:], sym) {
+					toks = append(toks, token{tokSymbol, sym, i})
+					i += len(sym)
+					goto next
+				}
+			}
+			return nil, fmt.Errorf("sql: unexpected character %q at %d", c, i)
+		next:
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}

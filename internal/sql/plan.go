@@ -1,0 +1,912 @@
+package sql
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"time"
+
+	"polaris/internal/catalog"
+	"polaris/internal/colfile"
+	"polaris/internal/core"
+	"polaris/internal/exec"
+)
+
+// Result is the outcome of executing one statement.
+type Result struct {
+	// Batch holds query output (nil for DML/DDL).
+	Batch *colfile.Batch
+	// RowsAffected counts DML effect.
+	RowsAffected int64
+	// Message is a human-readable DDL/utility outcome.
+	Message string
+	// SimTime is the simulated time the statement consumed (set by Session).
+	SimTime time.Duration
+}
+
+// Columns returns the output column names.
+func (r *Result) Columns() []string {
+	if r.Batch == nil {
+		return nil
+	}
+	out := make([]string, len(r.Batch.Schema))
+	for i, f := range r.Batch.Schema {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// Execute compiles and runs one parsed statement inside the transaction.
+// Transaction-control statements are the session's job, not Execute's.
+func Execute(tx *core.Txn, st Statement) (*Result, error) {
+	switch s := st.(type) {
+	case *SelectStmt:
+		b, err := runSelect(tx, s)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Batch: b}, nil
+	case *InsertStmt:
+		return runInsert(tx, s)
+	case *UpdateStmt:
+		return runUpdate(tx, s)
+	case *DeleteStmt:
+		return runDelete(tx, s)
+	case *CreateTableStmt:
+		if s.IfNotExists {
+			if _, err := tx.Table(s.Name); err == nil {
+				return &Result{Message: "table exists"}, nil
+			}
+		}
+		if _, err := tx.CreateTable(s.Name, s.Schema, s.DistCol, s.SortCol); err != nil {
+			return nil, err
+		}
+		return &Result{Message: "table created"}, nil
+	case DropTableStmt:
+		if err := tx.DropTable(s.Name); err != nil {
+			return nil, err
+		}
+		return &Result{Message: "table dropped"}, nil
+	case CloneStmt:
+		if _, err := tx.CloneTable(s.Source, s.Dest, s.AsOfSeq); err != nil {
+			return nil, err
+		}
+		return &Result{Message: "table cloned"}, nil
+	case RestoreStmt:
+		if err := tx.RestoreTableAsOf(s.Table, s.AsOfSeq); err != nil {
+			return nil, err
+		}
+		return &Result{Message: "table restored"}, nil
+	case ShowStmt:
+		return runShow(tx, s)
+	case MaintenanceStmt:
+		switch s.What {
+		case "compact":
+			res, err := tx.CompactTable(s.Table)
+			if err != nil {
+				return nil, err
+			}
+			return &Result{Message: fmt.Sprintf("compacted %d files into %d", res.InputFiles, res.OutputFiles)}, nil
+		case "checkpoint":
+			path, err := tx.CheckpointTable(s.Table)
+			if err != nil {
+				return nil, err
+			}
+			return &Result{Message: "checkpoint " + path}, nil
+		}
+		return nil, fmt.Errorf("sql: %s must run through a session", s.What)
+	case BeginStmt, CommitStmt, RollbackStmt:
+		return nil, errors.New("sql: transaction control must run through a session")
+	default:
+		return nil, fmt.Errorf("sql: unsupported statement %T", st)
+	}
+}
+
+// scope maps qualified and bare column names to offsets in the current
+// operator's output schema.
+type scope struct {
+	schema colfile.Schema
+	// quals[i] is the table alias each column came from.
+	quals []string
+}
+
+func (s *scope) resolve(c ColName) (int, error) {
+	found := -1
+	for i, f := range s.schema {
+		if !strings.EqualFold(f.Name, c.Name) {
+			continue
+		}
+		if c.Table != "" && !strings.EqualFold(s.quals[i], c.Table) {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("sql: ambiguous column %q", c.Name)
+		}
+		found = i
+	}
+	if found < 0 {
+		return 0, fmt.Errorf("sql: unknown column %q", displayName(c))
+	}
+	return found, nil
+}
+
+func displayName(c ColName) string {
+	if c.Table != "" {
+		return c.Table + "." + c.Name
+	}
+	return c.Name
+}
+
+// bind lowers an AST expression to a vectorized exec expression over scope.
+// Aggregate functions are rejected here; the aggregate path replaces them
+// before binding.
+func bind(e Expr, sc *scope) (exec.Expr, error) {
+	switch x := e.(type) {
+	case ColName:
+		idx, err := sc.resolve(x)
+		if err != nil {
+			return nil, err
+		}
+		return exec.ColRef{Idx: idx, Name: displayName(x)}, nil
+	case Lit:
+		return exec.Const{Val: x.Val}, nil
+	case BinExpr:
+		l, err := bind(x.L, sc)
+		if err != nil {
+			return nil, err
+		}
+		r, err := bind(x.R, sc)
+		if err != nil {
+			return nil, err
+		}
+		kind, ok := binOpKind(x.Op)
+		if !ok {
+			return nil, fmt.Errorf("sql: unsupported operator %q", x.Op)
+		}
+		return exec.Bin{Kind: kind, L: l, R: r}, nil
+	case NotExpr:
+		inner, err := bind(x.E, sc)
+		if err != nil {
+			return nil, err
+		}
+		return exec.Not{E: inner}, nil
+	case IsNullExpr:
+		inner, err := bind(x.E, sc)
+		if err != nil {
+			return nil, err
+		}
+		return exec.IsNull{E: inner, Negate: x.Negate}, nil
+	case LikeExpr:
+		inner, err := bind(x.E, sc)
+		if err != nil {
+			return nil, err
+		}
+		var out exec.Expr = exec.Like{E: inner, Pattern: x.Pattern}
+		if x.Negate {
+			out = exec.Not{E: out}
+		}
+		return out, nil
+	case InExpr:
+		inner, err := bind(x.E, sc)
+		if err != nil {
+			return nil, err
+		}
+		return exec.InList{E: inner, Vals: x.Vals, Negate: x.Negate}, nil
+	case BetweenExpr:
+		inner, err := bind(x.E, sc)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := bind(x.Lo, sc)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := bind(x.Hi, sc)
+		if err != nil {
+			return nil, err
+		}
+		return exec.Bin{Kind: exec.OpAnd,
+			L: exec.Bin{Kind: exec.OpGe, L: inner, R: lo},
+			R: exec.Bin{Kind: exec.OpLe, L: inner, R: hi},
+		}, nil
+	case FuncExpr:
+		return nil, fmt.Errorf("sql: aggregate %s not allowed here", x.Name)
+	default:
+		return nil, fmt.Errorf("sql: unsupported expression %T", e)
+	}
+}
+
+func binOpKind(op string) (exec.BinKind, bool) {
+	switch op {
+	case "+":
+		return exec.OpAdd, true
+	case "-":
+		return exec.OpSub, true
+	case "*":
+		return exec.OpMul, true
+	case "/":
+		return exec.OpDiv, true
+	case "%":
+		return exec.OpMod, true
+	case "=":
+		return exec.OpEq, true
+	case "<>", "!=":
+		return exec.OpNe, true
+	case "<":
+		return exec.OpLt, true
+	case "<=":
+		return exec.OpLe, true
+	case ">":
+		return exec.OpGt, true
+	case ">=":
+		return exec.OpGe, true
+	case "AND":
+		return exec.OpAnd, true
+	case "OR":
+		return exec.OpOr, true
+	}
+	return 0, false
+}
+
+// scanTable opens a table scan and returns its operator plus scope.
+func scanTable(tx *core.Txn, ref TableRef, hint *exec.PruneHint) (exec.Operator, *scope, error) {
+	op, _, err := tx.Scan(ref.Name, core.ScanOptions{AsOfSeq: ref.AsOfSeq, Prune: hint})
+	if err != nil {
+		return nil, nil, err
+	}
+	alias := ref.Alias
+	if alias == "" {
+		alias = ref.Name
+	}
+	schema := op.Schema()
+	quals := make([]string, len(schema))
+	for i := range quals {
+		quals[i] = alias
+	}
+	return op, &scope{schema: schema, quals: quals}, nil
+}
+
+// prunableRange extracts a zone-map hint from the WHERE clause: a conjunct of
+// the form col >= lo / col <= hi / col = v / col BETWEEN over an int column of
+// the base table.
+func prunableRange(where Expr, meta catalog.TableMeta, alias string) *exec.PruneHint {
+	lo := map[string]int64{}
+	hi := map[string]int64{}
+	var walk func(e Expr)
+	record := func(c ColName, op string, v int64) {
+		if c.Table != "" && !strings.EqualFold(c.Table, alias) {
+			return
+		}
+		idx := meta.Schema.ColIndex(c.Name)
+		if idx < 0 || meta.Schema[idx].Type != colfile.Int64 {
+			return
+		}
+		switch op {
+		case ">=", ">":
+			if cur, ok := lo[c.Name]; !ok || v > cur {
+				lo[c.Name] = v
+			}
+		case "<=", "<":
+			if cur, ok := hi[c.Name]; !ok || v < cur {
+				hi[c.Name] = v
+			}
+		case "=":
+			lo[c.Name], hi[c.Name] = v, v
+		}
+	}
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case BinExpr:
+			if x.Op == "AND" {
+				walk(x.L)
+				walk(x.R)
+				return
+			}
+			c, cok := x.L.(ColName)
+			l, lok := x.R.(Lit)
+			if cok && lok {
+				if v, ok := l.Val.(int64); ok {
+					record(c, x.Op, v)
+				}
+			}
+		case BetweenExpr:
+			c, cok := x.E.(ColName)
+			llo, lok := x.Lo.(Lit)
+			lhi, hok := x.Hi.(Lit)
+			if cok && lok && hok {
+				vlo, ok1 := llo.Val.(int64)
+				vhi, ok2 := lhi.Val.(int64)
+				if ok1 && ok2 {
+					record(c, ">=", vlo)
+					record(c, "<=", vhi)
+				}
+			}
+		}
+	}
+	if where == nil {
+		return nil
+	}
+	walk(where)
+	for col := range lo {
+		h := int64(1<<62 - 1)
+		if v, ok := hi[col]; ok {
+			h = v
+		}
+		return &exec.PruneHint{Col: col, Lo: lo[col], Hi: h}
+	}
+	for col, v := range hi {
+		return &exec.PruneHint{Col: col, Lo: -(1 << 62), Hi: v}
+	}
+	return nil
+}
+
+func runSelect(tx *core.Txn, st *SelectStmt) (*colfile.Batch, error) {
+	meta, err := tx.Table(st.From.Name)
+	if err != nil {
+		return nil, err
+	}
+	var hint *exec.PruneHint
+	if len(st.Joins) == 0 {
+		hint = prunableRange(st.Where, meta, aliasOf(st.From))
+	}
+	op, sc, err := scanTable(tx, st.From, hint)
+	if err != nil {
+		return nil, err
+	}
+
+	// Joins: hash equi-joins extracted from the ON conjunction.
+	for _, j := range st.Joins {
+		rop, rsc, err := scanTable(tx, j.Table, nil)
+		if err != nil {
+			return nil, err
+		}
+		lk, rk, err := equiKeys(j.On, sc, rsc)
+		if err != nil {
+			return nil, err
+		}
+		jt := exec.InnerJoin
+		if j.Left {
+			jt = exec.LeftOuterJoin
+		}
+		op = &exec.HashJoin{Left: op, Right: rop, LeftKeys: lk, RightKeys: rk, Type: jt}
+		sc = &scope{
+			schema: append(append(colfile.Schema{}, sc.schema...), rsc.schema...),
+			quals:  append(append([]string{}, sc.quals...), rsc.quals...),
+		}
+	}
+
+	if st.Where != nil {
+		pred, err := bind(st.Where, sc)
+		if err != nil {
+			return nil, err
+		}
+		op = &exec.Filter{In: op, Pred: pred}
+	}
+
+	hasAgg := len(st.GroupBy) > 0 || st.Having != nil
+	for _, it := range st.Items {
+		if containsAgg(it.Expr) {
+			hasAgg = true
+		}
+	}
+
+	var outOp exec.Operator
+	if hasAgg {
+		outOp, err = planAggregate(st, op, sc)
+	} else {
+		outOp, err = planProjection(st, op, sc)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if len(st.OrderBy) > 0 {
+		keys, err := orderKeys(st, outOp.Schema())
+		if err != nil {
+			return nil, err
+		}
+		outOp = &exec.Sort{In: outOp, Keys: keys}
+	}
+	if st.Limit >= 0 {
+		outOp = &exec.Limit{In: outOp, N: st.Limit, Offset: st.Offset}
+	}
+	return exec.Collect(outOp)
+}
+
+func aliasOf(r TableRef) string {
+	if r.Alias != "" {
+		return r.Alias
+	}
+	return r.Name
+}
+
+func containsAgg(e Expr) bool {
+	switch x := e.(type) {
+	case FuncExpr:
+		return true
+	case BinExpr:
+		return containsAgg(x.L) || containsAgg(x.R)
+	case NotExpr:
+		return containsAgg(x.E)
+	case IsNullExpr:
+		return containsAgg(x.E)
+	case BetweenExpr:
+		return containsAgg(x.E) || containsAgg(x.Lo) || containsAgg(x.Hi)
+	}
+	return false
+}
+
+// equiKeys extracts hash-join keys from an ON conjunction of equalities, each
+// relating one left-scope column to one right-scope column.
+func equiKeys(on Expr, left, right *scope) (lk, rk []int, err error) {
+	var conjuncts []Expr
+	var split func(e Expr)
+	split = func(e Expr) {
+		if b, ok := e.(BinExpr); ok && b.Op == "AND" {
+			split(b.L)
+			split(b.R)
+			return
+		}
+		conjuncts = append(conjuncts, e)
+	}
+	split(on)
+	for _, c := range conjuncts {
+		b, ok := c.(BinExpr)
+		if !ok || b.Op != "=" {
+			return nil, nil, fmt.Errorf("sql: JOIN ON supports equality conjunctions only")
+		}
+		lc, ok1 := b.L.(ColName)
+		rc, ok2 := b.R.(ColName)
+		if !ok1 || !ok2 {
+			return nil, nil, fmt.Errorf("sql: JOIN ON must compare columns")
+		}
+		if li, err := left.resolve(lc); err == nil {
+			ri, err := right.resolve(rc)
+			if err != nil {
+				return nil, nil, err
+			}
+			lk = append(lk, li)
+			rk = append(rk, ri)
+			continue
+		}
+		// swapped sides
+		li, err := left.resolve(rc)
+		if err != nil {
+			return nil, nil, err
+		}
+		ri, err := right.resolve(lc)
+		if err != nil {
+			return nil, nil, err
+		}
+		lk = append(lk, li)
+		rk = append(rk, ri)
+	}
+	if len(lk) == 0 {
+		return nil, nil, fmt.Errorf("sql: JOIN requires at least one equality key")
+	}
+	return lk, rk, nil
+}
+
+func planProjection(st *SelectStmt, op exec.Operator, sc *scope) (exec.Operator, error) {
+	var exprs []exec.Expr
+	var names []string
+	for _, it := range st.Items {
+		if it.Star {
+			for i, f := range sc.schema {
+				exprs = append(exprs, exec.ColRef{Idx: i, Name: f.Name})
+				names = append(names, f.Name)
+			}
+			continue
+		}
+		e, err := bind(it.Expr, sc)
+		if err != nil {
+			return nil, err
+		}
+		exprs = append(exprs, e)
+		names = append(names, itemName(it))
+	}
+	return &exec.Project{In: op, Exprs: exprs, Names: names}, nil
+}
+
+func itemName(it SelectItem) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	if c, ok := it.Expr.(ColName); ok {
+		return c.Name
+	}
+	return ""
+}
+
+// planAggregate lowers GROUP BY queries: the HashAgg computes group keys and
+// every aggregate found in the items/HAVING; a post-projection then maps item
+// expressions over the aggregate's output.
+func planAggregate(st *SelectStmt, op exec.Operator, sc *scope) (exec.Operator, error) {
+	groupExprs := make([]exec.Expr, len(st.GroupBy))
+	for i, g := range st.GroupBy {
+		e, err := bind(g, sc)
+		if err != nil {
+			return nil, err
+		}
+		groupExprs[i] = e
+	}
+
+	// Collect aggregates in item order, then HAVING.
+	var aggs []exec.AggSpec
+	aggIndex := map[string]int{} // rendered key -> agg slot
+	addAgg := func(f FuncExpr) (int, error) {
+		kind, err := aggKind(f)
+		if err != nil {
+			return 0, err
+		}
+		var arg exec.Expr
+		key := f.Name + "(*)"
+		if !f.Star {
+			bound, err := bind(f.Arg, sc)
+			if err != nil {
+				return 0, err
+			}
+			arg = bound
+			key = f.Name + "(" + bound.String() + ")"
+		}
+		if i, ok := aggIndex[key]; ok {
+			return i, nil
+		}
+		aggs = append(aggs, exec.AggSpec{Kind: kind, Arg: arg, Name: key})
+		aggIndex[key] = len(aggs) - 1
+		return len(aggs) - 1, nil
+	}
+
+	// replaceAgg rewrites an item expression into a post-aggregation
+	// expression over [groups..., aggs...].
+	var replaceAgg func(e Expr) (exec.Expr, error)
+	replaceAgg = func(e Expr) (exec.Expr, error) {
+		// An item expression structurally equal to a GROUP BY expression maps
+		// to that group column (e.g. GROUP BY d/30 ... SELECT d/30).
+		for i, g := range st.GroupBy {
+			if reflect.DeepEqual(e, g) {
+				return exec.ColRef{Idx: i, Name: fmt.Sprintf("group%d", i)}, nil
+			}
+		}
+		switch x := e.(type) {
+		case FuncExpr:
+			slot, err := addAgg(x)
+			if err != nil {
+				return nil, err
+			}
+			return exec.ColRef{Idx: len(groupExprs) + slot, Name: aggs[slot].Name}, nil
+		case ColName:
+			// must match a GROUP BY expression
+			for i, g := range st.GroupBy {
+				if gc, ok := g.(ColName); ok && strings.EqualFold(gc.Name, x.Name) &&
+					(x.Table == "" || strings.EqualFold(gc.Table, x.Table) || gc.Table == "") {
+					return exec.ColRef{Idx: i, Name: x.Name}, nil
+				}
+			}
+			return nil, fmt.Errorf("sql: column %q must appear in GROUP BY or an aggregate", displayName(x))
+		case Lit:
+			return exec.Const{Val: x.Val}, nil
+		case BinExpr:
+			l, err := replaceAgg(x.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := replaceAgg(x.R)
+			if err != nil {
+				return nil, err
+			}
+			kind, ok := binOpKind(x.Op)
+			if !ok {
+				return nil, fmt.Errorf("sql: unsupported operator %q", x.Op)
+			}
+			return exec.Bin{Kind: kind, L: l, R: r}, nil
+		case NotExpr:
+			inner, err := replaceAgg(x.E)
+			if err != nil {
+				return nil, err
+			}
+			return exec.Not{E: inner}, nil
+		default:
+			return nil, fmt.Errorf("sql: unsupported expression %T in aggregate query", e)
+		}
+	}
+
+	var outExprs []exec.Expr
+	var outNames []string
+	for _, it := range st.Items {
+		if it.Star {
+			return nil, errors.New("sql: SELECT * with GROUP BY is not supported")
+		}
+		e, err := replaceAgg(it.Expr)
+		if err != nil {
+			return nil, err
+		}
+		outExprs = append(outExprs, e)
+		outNames = append(outNames, itemName(it))
+	}
+	var havingExpr exec.Expr
+	if st.Having != nil {
+		var err error
+		havingExpr, err = replaceAgg(st.Having)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var out exec.Operator = &exec.HashAgg{In: op, GroupBy: groupExprs, Aggs: aggs}
+	if havingExpr != nil {
+		out = &exec.Filter{In: out, Pred: havingExpr}
+	}
+	return &exec.Project{In: out, Exprs: outExprs, Names: outNames}, nil
+}
+
+func aggKind(f FuncExpr) (exec.AggKind, error) {
+	switch f.Name {
+	case "COUNT":
+		if f.Star {
+			return exec.AggCountStar, nil
+		}
+		return exec.AggCount, nil
+	case "SUM":
+		return exec.AggSum, nil
+	case "AVG":
+		return exec.AggAvg, nil
+	case "MIN":
+		return exec.AggMin, nil
+	case "MAX":
+		return exec.AggMax, nil
+	}
+	return 0, fmt.Errorf("sql: unknown aggregate %s", f.Name)
+}
+
+// orderKeys resolves ORDER BY items against the output schema by alias/name.
+func orderKeys(st *SelectStmt, schema colfile.Schema) ([]exec.SortKey, error) {
+	var keys []exec.SortKey
+	for _, o := range st.OrderBy {
+		c, ok := o.Expr.(ColName)
+		if !ok {
+			if l, isLit := o.Expr.(Lit); isLit {
+				if pos, isInt := l.Val.(int64); isInt && pos >= 1 && int(pos) <= len(schema) {
+					keys = append(keys, exec.SortKey{Col: int(pos - 1), Desc: o.Desc})
+					continue
+				}
+			}
+			return nil, errors.New("sql: ORDER BY supports output columns or positions")
+		}
+		idx := -1
+		for i, f := range schema {
+			if strings.EqualFold(f.Name, c.Name) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("sql: ORDER BY column %q not in output", c.Name)
+		}
+		keys = append(keys, exec.SortKey{Col: idx, Desc: o.Desc})
+	}
+	return keys, nil
+}
+
+func runInsert(tx *core.Txn, st *InsertStmt) (*Result, error) {
+	meta, err := tx.Table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	var batch *colfile.Batch
+	if st.Query != nil {
+		qb, err := runSelect(tx, st.Query)
+		if err != nil {
+			return nil, err
+		}
+		if len(qb.Schema) != len(meta.Schema) {
+			return nil, fmt.Errorf("sql: INSERT SELECT arity %d, table has %d columns", len(qb.Schema), len(meta.Schema))
+		}
+		batch = colfile.NewBatch(meta.Schema)
+		for i := 0; i < qb.NumRows(); i++ {
+			if err := batch.AppendRow(qb.Row(i)...); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		cols := st.Columns
+		if cols == nil {
+			cols = make([]string, len(meta.Schema))
+			for i, f := range meta.Schema {
+				cols[i] = f.Name
+			}
+		}
+		colIdx := make([]int, len(cols))
+		for i, c := range cols {
+			idx := meta.Schema.ColIndex(c)
+			if idx < 0 {
+				return nil, fmt.Errorf("sql: unknown column %q", c)
+			}
+			colIdx[i] = idx
+		}
+		batch = colfile.NewBatch(meta.Schema)
+		for _, row := range st.Rows {
+			if len(row) != len(cols) {
+				return nil, fmt.Errorf("sql: row has %d values, expected %d", len(row), len(cols))
+			}
+			vals := make([]any, len(meta.Schema)) // unnamed columns are NULL
+			for i, e := range row {
+				lit, err := evalConst(e)
+				if err != nil {
+					return nil, err
+				}
+				vals[colIdx[i]] = lit
+			}
+			if err := batch.AppendRow(vals...); err != nil {
+				return nil, err
+			}
+		}
+	}
+	n, err := tx.Insert(st.Table, batch)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{RowsAffected: n}, nil
+}
+
+// evalConst folds a literal-only expression (VALUES rows).
+func evalConst(e Expr) (any, error) {
+	switch x := e.(type) {
+	case Lit:
+		return x.Val, nil
+	case BinExpr:
+		l, err := evalConst(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := evalConst(x.R)
+		if err != nil {
+			return nil, err
+		}
+		li, lok := l.(int64)
+		ri, rok := r.(int64)
+		if lok && rok {
+			switch x.Op {
+			case "+":
+				return li + ri, nil
+			case "-":
+				return li - ri, nil
+			case "*":
+				return li * ri, nil
+			case "/":
+				if ri == 0 {
+					return nil, errors.New("sql: division by zero")
+				}
+				return li / ri, nil
+			}
+		}
+		lf, lok := toF(l)
+		rf, rok := toF(r)
+		if lok && rok {
+			switch x.Op {
+			case "+":
+				return lf + rf, nil
+			case "-":
+				return lf - rf, nil
+			case "*":
+				return lf * rf, nil
+			case "/":
+				if rf == 0 {
+					return nil, errors.New("sql: division by zero")
+				}
+				return lf / rf, nil
+			}
+		}
+		return nil, fmt.Errorf("sql: VALUES expressions must be constant")
+	default:
+		return nil, fmt.Errorf("sql: VALUES expressions must be literals")
+	}
+}
+
+func toF(v any) (float64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return float64(x), true
+	case float64:
+		return x, true
+	}
+	return 0, false
+}
+
+func runUpdate(tx *core.Txn, st *UpdateStmt) (*Result, error) {
+	meta, err := tx.Table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	sc := tableScope(meta)
+	set := make(map[string]exec.Expr, len(st.Set))
+	for col, e := range st.Set {
+		bound, err := bind(e, sc)
+		if err != nil {
+			return nil, err
+		}
+		set[col] = bound
+	}
+	pred, err := wherePred(st.Where, sc)
+	if err != nil {
+		return nil, err
+	}
+	n, err := tx.Update(st.Table, pred, set)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{RowsAffected: n}, nil
+}
+
+func runDelete(tx *core.Txn, st *DeleteStmt) (*Result, error) {
+	meta, err := tx.Table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := wherePred(st.Where, tableScope(meta))
+	if err != nil {
+		return nil, err
+	}
+	n, err := tx.Delete(st.Table, pred)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{RowsAffected: n}, nil
+}
+
+func tableScope(meta catalog.TableMeta) *scope {
+	quals := make([]string, len(meta.Schema))
+	for i := range quals {
+		quals[i] = meta.Name
+	}
+	return &scope{schema: meta.Schema, quals: quals}
+}
+
+func wherePred(where Expr, sc *scope) (exec.Expr, error) {
+	if where == nil {
+		return exec.Const{Val: true}, nil
+	}
+	return bind(where, sc)
+}
+
+func runShow(tx *core.Txn, st ShowStmt) (*Result, error) {
+	switch st.What {
+	case "tables":
+		tables, err := tx.ListTables()
+		if err != nil {
+			return nil, err
+		}
+		schema := colfile.Schema{
+			{Name: "name", Type: colfile.String},
+			{Name: "id", Type: colfile.Int64},
+			{Name: "columns", Type: colfile.Int64},
+			{Name: "cloned_from", Type: colfile.Int64},
+		}
+		b := colfile.NewBatch(schema)
+		for _, m := range tables {
+			_ = b.AppendRow(m.Name, m.ID, int64(len(m.Schema)), m.ClonedFrom)
+		}
+		return &Result{Batch: b}, nil
+	case "stats":
+		s, err := tx.Stats(st.Table)
+		if err != nil {
+			return nil, err
+		}
+		schema := colfile.Schema{
+			{Name: "table", Type: colfile.String},
+			{Name: "files", Type: colfile.Int64},
+			{Name: "rows", Type: colfile.Int64},
+			{Name: "deleted", Type: colfile.Int64},
+			{Name: "bytes", Type: colfile.Int64},
+			{Name: "manifests", Type: colfile.Int64},
+			{Name: "last_seq", Type: colfile.Int64},
+			{Name: "healthy", Type: colfile.Bool},
+		}
+		b := colfile.NewBatch(schema)
+		_ = b.AppendRow(s.Name, int64(s.Files), s.Rows, s.Deleted, s.SizeBytes,
+			int64(s.Manifests), s.LastSeq, s.Health.Healthy())
+		return &Result{Batch: b}, nil
+	}
+	return nil, fmt.Errorf("sql: unknown SHOW %q", st.What)
+}

@@ -1,0 +1,130 @@
+package sql
+
+import (
+	"errors"
+	"fmt"
+
+	"polaris/internal/core"
+)
+
+// Session executes SQL statements against an engine, managing autocommit vs
+// explicit transactions (BEGIN/COMMIT/ROLLBACK) the way the SQL FE does.
+type Session struct {
+	eng *core.Engine
+	// tx is the open explicit transaction, nil in autocommit mode.
+	tx *core.Txn
+	// Vacuum hooks engine GC for the VACUUM utility statement.
+	Vacuum func() (core.GCResult, error)
+}
+
+// NewSession creates a session over the engine.
+func NewSession(eng *core.Engine) *Session {
+	s := &Session{eng: eng}
+	s.Vacuum = eng.GarbageCollect
+	return s
+}
+
+// InTransaction reports whether an explicit transaction is open.
+func (s *Session) InTransaction() bool { return s.tx != nil }
+
+// Txn exposes the open explicit transaction (nil in autocommit mode); used by
+// callers that mix SQL with programmatic API calls.
+func (s *Session) Txn() *core.Txn { return s.tx }
+
+// Close rolls back any open transaction.
+func (s *Session) Close() {
+	if s.tx != nil {
+		s.tx.Rollback()
+		s.tx = nil
+	}
+}
+
+// Exec parses and executes one statement.
+func (s *Session) Exec(query string) (*Result, error) {
+	st, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return s.ExecParsed(st)
+}
+
+// ExecScript executes a semicolon-separated script, stopping at the first
+// error. It returns the last statement's result.
+func (s *Session) ExecScript(script string) (*Result, error) {
+	stmts, err := ParseScript(script)
+	if err != nil {
+		return nil, err
+	}
+	var last *Result
+	for _, st := range stmts {
+		last, err = s.ExecParsed(st)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return last, nil
+}
+
+// ExecParsed executes an already-parsed statement.
+func (s *Session) ExecParsed(st Statement) (*Result, error) {
+	switch st.(type) {
+	case BeginStmt:
+		if s.tx != nil {
+			return nil, errors.New("sql: transaction already open")
+		}
+		s.tx = s.eng.Begin()
+		return &Result{Message: "transaction started"}, nil
+	case CommitStmt:
+		if s.tx == nil {
+			return nil, errors.New("sql: no open transaction")
+		}
+		err := s.tx.Commit()
+		s.tx = nil
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Message: "committed"}, nil
+	case RollbackStmt:
+		if s.tx == nil {
+			return nil, errors.New("sql: no open transaction")
+		}
+		s.tx.Rollback()
+		s.tx = nil
+		return &Result{Message: "rolled back"}, nil
+	}
+
+	if m, ok := st.(MaintenanceStmt); ok && m.What == "vacuum" {
+		if s.tx != nil {
+			return nil, errors.New("sql: VACUUM cannot run inside a transaction")
+		}
+		res, err := s.Vacuum()
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Message: fmt.Sprintf(
+			"vacuum: scanned %d, deleted %d data + %d dv + %d orphans, retained %d",
+			res.Scanned, res.DeletedData, res.DeletedDV, res.DeletedOrphans, res.Retained)}, nil
+	}
+
+	if s.tx != nil {
+		before := s.tx.SimTime()
+		res, err := Execute(s.tx, st)
+		if err != nil {
+			return nil, err
+		}
+		res.SimTime = s.tx.SimTime() - before
+		return res, nil
+	}
+	// Autocommit: each statement runs in its own transaction.
+	tx := s.eng.Begin()
+	res, err := Execute(tx, st)
+	if err != nil {
+		tx.Rollback()
+		return nil, err
+	}
+	if err := tx.Commit(); err != nil {
+		return nil, err
+	}
+	res.SimTime = tx.SimTime()
+	return res, nil
+}

@@ -1,0 +1,395 @@
+// Package workload provides the deterministic, laptop-scaled workload
+// generators and drivers behind the paper's evaluation (Section 7): TPC-H
+// tables and a 22-query power-run set (Figs. 7–9), TPC-DS-shaped sales and
+// returns tables, and the LST-Bench WP1/WP3 phase drivers (Figs. 10–12).
+//
+// Scale factors are laptop-scale: RowsPerSF rows of lineitem per unit SF
+// instead of TPC-H's six million. Ratios between scale factors — which is
+// what the figures' shapes depend on — are preserved.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"polaris/internal/colfile"
+	"polaris/internal/core"
+)
+
+// RowsPerSF is the number of lineitem rows per unit scale factor.
+const RowsPerSF = 8000
+
+// TableDef describes one workload table.
+type TableDef struct {
+	Name    string
+	Schema  colfile.Schema
+	DistCol string
+	SortCol string
+	DDL     string
+}
+
+func f(name string, t colfile.DataType) colfile.Field { return colfile.Field{Name: name, Type: t} }
+
+// THTables returns the TPC-H table definitions used by the benchmark
+// (lineitem plus the dimensions the query set joins against).
+func THTables() []TableDef {
+	return []TableDef{
+		{
+			Name: "lineitem",
+			Schema: colfile.Schema{
+				f("l_orderkey", colfile.Int64), f("l_partkey", colfile.Int64),
+				f("l_suppkey", colfile.Int64), f("l_linenumber", colfile.Int64),
+				f("l_quantity", colfile.Int64), f("l_extendedprice", colfile.Float64),
+				f("l_discount", colfile.Float64), f("l_tax", colfile.Float64),
+				f("l_returnflag", colfile.String), f("l_linestatus", colfile.String),
+				f("l_shipdate", colfile.Int64), // days since epoch
+			},
+			DistCol: "l_orderkey", SortCol: "l_shipdate",
+			DDL: `CREATE TABLE lineitem (l_orderkey INT, l_partkey INT, l_suppkey INT,
+				l_linenumber INT, l_quantity INT, l_extendedprice FLOAT, l_discount FLOAT,
+				l_tax FLOAT, l_returnflag VARCHAR, l_linestatus VARCHAR, l_shipdate INT)
+				WITH (DISTRIBUTION = l_orderkey, SORTCOL = l_shipdate)`,
+		},
+		{
+			Name: "orders",
+			Schema: colfile.Schema{
+				f("o_orderkey", colfile.Int64), f("o_custkey", colfile.Int64),
+				f("o_orderstatus", colfile.String), f("o_totalprice", colfile.Float64),
+				f("o_orderdate", colfile.Int64), f("o_orderpriority", colfile.String),
+			},
+			DistCol: "o_orderkey", SortCol: "o_orderdate",
+			DDL: `CREATE TABLE orders (o_orderkey INT, o_custkey INT, o_orderstatus VARCHAR,
+				o_totalprice FLOAT, o_orderdate INT, o_orderpriority VARCHAR)
+				WITH (DISTRIBUTION = o_orderkey, SORTCOL = o_orderdate)`,
+		},
+		{
+			Name: "customer",
+			Schema: colfile.Schema{
+				f("c_custkey", colfile.Int64), f("c_name", colfile.String),
+				f("c_nationkey", colfile.Int64), f("c_acctbal", colfile.Float64),
+				f("c_mktsegment", colfile.String),
+			},
+			DistCol: "c_custkey", SortCol: "c_custkey",
+			DDL: `CREATE TABLE customer (c_custkey INT, c_name VARCHAR, c_nationkey INT,
+				c_acctbal FLOAT, c_mktsegment VARCHAR)
+				WITH (DISTRIBUTION = c_custkey, SORTCOL = c_custkey)`,
+		},
+		{
+			Name: "supplier",
+			Schema: colfile.Schema{
+				f("s_suppkey", colfile.Int64), f("s_name", colfile.String),
+				f("s_nationkey", colfile.Int64), f("s_acctbal", colfile.Float64),
+			},
+			DistCol: "s_suppkey", SortCol: "s_suppkey",
+			DDL: `CREATE TABLE supplier (s_suppkey INT, s_name VARCHAR, s_nationkey INT,
+				s_acctbal FLOAT) WITH (DISTRIBUTION = s_suppkey, SORTCOL = s_suppkey)`,
+		},
+		{
+			Name: "part",
+			Schema: colfile.Schema{
+				f("p_partkey", colfile.Int64), f("p_name", colfile.String),
+				f("p_brand", colfile.String), f("p_type", colfile.String),
+				f("p_size", colfile.Int64), f("p_retailprice", colfile.Float64),
+			},
+			DistCol: "p_partkey", SortCol: "p_partkey",
+			DDL: `CREATE TABLE part (p_partkey INT, p_name VARCHAR, p_brand VARCHAR,
+				p_type VARCHAR, p_size INT, p_retailprice FLOAT)
+				WITH (DISTRIBUTION = p_partkey, SORTCOL = p_partkey)`,
+		},
+		{
+			Name: "nation",
+			Schema: colfile.Schema{
+				f("n_nationkey", colfile.Int64), f("n_name", colfile.String),
+				f("n_regionkey", colfile.Int64),
+			},
+			DistCol: "n_nationkey", SortCol: "n_nationkey",
+			DDL: `CREATE TABLE nation (n_nationkey INT, n_name VARCHAR, n_regionkey INT)
+				WITH (DISTRIBUTION = n_nationkey, SORTCOL = n_nationkey)`,
+		},
+	}
+}
+
+var (
+	returnFlags = []string{"A", "N", "R"}
+	lineStatus  = []string{"O", "F"}
+	segments    = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"}
+	priorities  = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	brands      = []string{"Brand#11", "Brand#12", "Brand#23", "Brand#34", "Brand#55"}
+	ptypes      = []string{"STANDARD BRASS", "SMALL PLATED", "MEDIUM ANODIZED", "LARGE BURNISHED", "ECONOMY POLISHED"}
+	nations     = []string{"FRANCE", "GERMANY", "JAPAN", "BRAZIL", "KENYA", "PERU", "CHINA", "INDIA"}
+)
+
+// LineitemBatch generates rows [lo, hi) of lineitem at a fixed seed; the same
+// range always yields the same rows.
+func LineitemBatch(lo, hi int64) *colfile.Batch {
+	schema := THTables()[0].Schema
+	b := colfile.NewBatch(schema)
+	for i := lo; i < hi; i++ {
+		rng := rand.New(rand.NewSource(i*2654435761 + 17))
+		orderkey := i/4 + 1
+		_ = b.AppendRow(
+			orderkey,
+			rng.Int63n(2000)+1,
+			rng.Int63n(100)+1,
+			i%4+1,
+			rng.Int63n(50)+1,
+			float64(rng.Int63n(90000)+1000)/100.0,
+			float64(rng.Int63n(11))/100.0,
+			float64(rng.Int63n(9))/100.0,
+			returnFlags[rng.Intn(len(returnFlags))],
+			lineStatus[rng.Intn(len(lineStatus))],
+			int64(8000+rng.Int63n(2500)), // ~1992..1998 in days
+		)
+	}
+	return b
+}
+
+// LineitemSources splits a scale factor's rows into numFiles source files for
+// BulkLoad — Fig. 7's parallelism unit. TPC-H ships 40 source files per
+// 100GB, so callers typically use 4*sf files.
+func LineitemSources(sf float64, numFiles int) []core.SourceFile {
+	total := int64(sf * RowsPerSF)
+	if numFiles < 1 {
+		numFiles = 1
+	}
+	per := (total + int64(numFiles) - 1) / int64(numFiles)
+	var out []core.SourceFile
+	for i := 0; i < numFiles; i++ {
+		lo := int64(i) * per
+		hi := lo + per
+		if hi > total {
+			hi = total
+		}
+		if lo >= hi {
+			break
+		}
+		out = append(out, core.SourceFile{
+			Name:     fmt.Sprintf("lineitem.tbl.%d", i),
+			SizeHint: (hi - lo) * 120, // ~120 bytes/row in the raw files
+			Rows:     func() (*colfile.Batch, error) { return LineitemBatch(lo, hi), nil },
+		})
+	}
+	return out
+}
+
+// OrdersBatch generates the orders table sized to match sf.
+func OrdersBatch(sf float64) *colfile.Batch {
+	schema := THTables()[1].Schema
+	b := colfile.NewBatch(schema)
+	n := int64(sf * RowsPerSF / 4)
+	for i := int64(0); i < n; i++ {
+		rng := rand.New(rand.NewSource(i*40503 + 7))
+		_ = b.AppendRow(
+			i+1,
+			rng.Int63n(n/10+1)+1,
+			[]string{"O", "F", "P"}[rng.Intn(3)],
+			float64(rng.Int63n(400000)+1000)/100.0,
+			int64(8000+rng.Int63n(2500)),
+			priorities[rng.Intn(len(priorities))],
+		)
+	}
+	return b
+}
+
+// CustomerBatch generates the customer table sized to match sf.
+func CustomerBatch(sf float64) *colfile.Batch {
+	schema := THTables()[2].Schema
+	b := colfile.NewBatch(schema)
+	n := int64(sf*RowsPerSF/40) + 1
+	for i := int64(0); i < n; i++ {
+		rng := rand.New(rand.NewSource(i*7919 + 3))
+		_ = b.AppendRow(
+			i+1,
+			fmt.Sprintf("Customer#%09d", i+1),
+			rng.Int63n(int64(len(nations))),
+			float64(rng.Int63n(100000))/100.0,
+			segments[rng.Intn(len(segments))],
+		)
+	}
+	return b
+}
+
+// SupplierBatch generates the supplier table.
+func SupplierBatch(sf float64) *colfile.Batch {
+	schema := THTables()[3].Schema
+	b := colfile.NewBatch(schema)
+	n := int64(sf*RowsPerSF/80) + 1
+	for i := int64(0); i < n; i++ {
+		rng := rand.New(rand.NewSource(i*104729 + 11))
+		_ = b.AppendRow(
+			i+1,
+			fmt.Sprintf("Supplier#%09d", i+1),
+			rng.Int63n(int64(len(nations))),
+			float64(rng.Int63n(100000))/100.0,
+		)
+	}
+	return b
+}
+
+// PartBatch generates the part table.
+func PartBatch(sf float64) *colfile.Batch {
+	schema := THTables()[4].Schema
+	b := colfile.NewBatch(schema)
+	n := int64(sf*RowsPerSF/4) + 1
+	if n > 2000 {
+		n = 2000
+	}
+	for i := int64(0); i < n; i++ {
+		rng := rand.New(rand.NewSource(i*31337 + 5))
+		_ = b.AppendRow(
+			i+1,
+			fmt.Sprintf("part %d polished", i+1),
+			brands[rng.Intn(len(brands))],
+			ptypes[rng.Intn(len(ptypes))],
+			rng.Int63n(50)+1,
+			float64(rng.Int63n(200000)+90000)/100.0,
+		)
+	}
+	return b
+}
+
+// NationBatch generates the nation table.
+func NationBatch() *colfile.Batch {
+	schema := THTables()[5].Schema
+	b := colfile.NewBatch(schema)
+	for i, n := range nations {
+		_ = b.AppendRow(int64(i), n, int64(i%3))
+	}
+	return b
+}
+
+// LoadTPCH creates and loads all TPC-H tables at the scale factor, splitting
+// lineitem into numLineitemFiles source files. It returns the lineitem row
+// count.
+func LoadTPCH(eng *core.Engine, sf float64, numLineitemFiles int) (int64, error) {
+	var loaded int64
+	err := eng.AutoCommit(func(tx *core.Txn) error {
+		for _, td := range THTables() {
+			if _, err := tx.CreateTable(td.Name, td.Schema, td.DistCol, td.SortCol); err != nil {
+				return err
+			}
+		}
+		n, err := tx.BulkLoad("lineitem", LineitemSources(sf, numLineitemFiles))
+		if err != nil {
+			return err
+		}
+		loaded = n
+		if _, err := tx.Insert("orders", OrdersBatch(sf)); err != nil {
+			return err
+		}
+		if _, err := tx.Insert("customer", CustomerBatch(sf)); err != nil {
+			return err
+		}
+		if _, err := tx.Insert("supplier", SupplierBatch(sf)); err != nil {
+			return err
+		}
+		if _, err := tx.Insert("part", PartBatch(sf)); err != nil {
+			return err
+		}
+		if _, err := tx.Insert("nation", NationBatch()); err != nil {
+			return err
+		}
+		return nil
+	})
+	return loaded, err
+}
+
+// THQueries returns the 22-query TPC-H power-run set, transcribed into the
+// engine's SQL subset. Queries keep the original's shape (scanned tables,
+// join pattern, aggregation) even where the full TPC-H text uses features —
+// correlated subqueries, EXISTS — outside the subset.
+func THQueries() []string {
+	return []string{
+		// Q1 pricing summary report
+		`SELECT l_returnflag, l_linestatus, SUM(l_quantity) AS sum_qty,
+			SUM(l_extendedprice) AS sum_base, AVG(l_discount) AS avg_disc, COUNT(*) AS n
+			FROM lineitem WHERE l_shipdate <= 10400
+			GROUP BY l_returnflag, l_linestatus ORDER BY l_returnflag, l_linestatus`,
+		// Q2 minimum cost supplier (flattened)
+		`SELECT s.s_name, MIN(s.s_acctbal) AS bal FROM supplier s JOIN nation n ON s.s_nationkey = n.n_nationkey
+			GROUP BY s.s_name ORDER BY bal DESC LIMIT 10`,
+		// Q3 shipping priority
+		`SELECT l.l_orderkey, SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue, o.o_orderdate
+			FROM lineitem l JOIN orders o ON l.l_orderkey = o.o_orderkey
+			WHERE o.o_orderdate < 9500 GROUP BY l.l_orderkey, o.o_orderdate
+			ORDER BY revenue DESC LIMIT 10`,
+		// Q4 order priority checking (semi-join flattened to join+group)
+		`SELECT o.o_orderpriority, COUNT(*) AS order_count FROM orders o
+			JOIN lineitem l ON o.o_orderkey = l.l_orderkey
+			WHERE o.o_orderdate BETWEEN 9000 AND 9200
+			GROUP BY o.o_orderpriority ORDER BY o.o_orderpriority`,
+		// Q5 local supplier volume
+		`SELECT n.n_name, SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+			FROM lineitem l JOIN supplier s ON l.l_suppkey = s.s_suppkey
+			JOIN nation n ON s.s_nationkey = n.n_nationkey
+			GROUP BY n.n_name ORDER BY revenue DESC`,
+		// Q6 forecasting revenue change
+		`SELECT SUM(l_extendedprice * l_discount) AS revenue FROM lineitem
+			WHERE l_shipdate BETWEEN 8500 AND 8900 AND l_discount BETWEEN 0.02 AND 0.09
+			AND l_quantity < 24`,
+		// Q7 volume shipping
+		`SELECT n.n_name, SUM(l.l_extendedprice) AS volume FROM lineitem l
+			JOIN supplier s ON l.l_suppkey = s.s_suppkey
+			JOIN nation n ON s.s_nationkey = n.n_regionkey
+			WHERE l.l_shipdate BETWEEN 8800 AND 9200 GROUP BY n.n_name ORDER BY volume DESC`,
+		// Q8 national market share (simplified numerator)
+		`SELECT o.o_orderdate / 365 AS year, SUM(l.l_extendedprice * (1 - l.l_discount)) AS volume
+			FROM lineitem l JOIN orders o ON l.l_orderkey = o.o_orderkey
+			GROUP BY o.o_orderdate / 365 ORDER BY year`,
+		// Q9 product type profit
+		`SELECT p.p_brand, SUM(l.l_extendedprice * (1 - l.l_discount)) AS profit
+			FROM lineitem l JOIN part p ON l.l_partkey = p.p_partkey
+			GROUP BY p.p_brand ORDER BY profit DESC`,
+		// Q10 returned item reporting
+		`SELECT c.c_name, SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+			FROM lineitem l JOIN orders o ON l.l_orderkey = o.o_orderkey
+			JOIN customer c ON o.o_custkey = c.c_custkey
+			WHERE l.l_returnflag = 'R' GROUP BY c.c_name ORDER BY revenue DESC LIMIT 20`,
+		// Q11 important stock (shape: agg + having)
+		`SELECT l_partkey, SUM(l_extendedprice) AS value FROM lineitem
+			GROUP BY l_partkey HAVING SUM(l_extendedprice) > 1000 ORDER BY value DESC LIMIT 20`,
+		// Q12 shipping modes (priority buckets)
+		`SELECT o.o_orderpriority, COUNT(*) AS n FROM orders o
+			JOIN lineitem l ON o.o_orderkey = l.l_orderkey
+			WHERE l.l_shipdate > 9200 GROUP BY o.o_orderpriority ORDER BY o.o_orderpriority`,
+		// Q13 customer distribution
+		`SELECT o_custkey, COUNT(*) AS c_count FROM orders GROUP BY o_custkey
+			ORDER BY c_count DESC LIMIT 20`,
+		// Q14 promotion effect
+		`SELECT SUM(l.l_extendedprice * (1 - l.l_discount)) AS promo_revenue
+			FROM lineitem l JOIN part p ON l.l_partkey = p.p_partkey
+			WHERE p.p_type LIKE 'SMALL%'`,
+		// Q15 top supplier
+		`SELECT l_suppkey, SUM(l_extendedprice * (1 - l_discount)) AS total_revenue
+			FROM lineitem WHERE l_shipdate >= 9000 GROUP BY l_suppkey
+			ORDER BY total_revenue DESC LIMIT 5`,
+		// Q16 parts/supplier relationship
+		`SELECT p.p_brand, p.p_type, COUNT(l.l_suppkey) AS supplier_cnt
+			FROM part p JOIN lineitem l ON p.p_partkey = l.l_partkey
+			WHERE p.p_size >= 10 GROUP BY p.p_brand, p.p_type
+			ORDER BY supplier_cnt DESC LIMIT 20`,
+		// Q17 small-quantity-order revenue
+		`SELECT AVG(l_extendedprice) AS avg_yearly FROM lineitem WHERE l_quantity < 5`,
+		// Q18 large volume customer
+		`SELECT o.o_orderkey, SUM(l.l_quantity) AS total_qty
+			FROM orders o JOIN lineitem l ON o.o_orderkey = l.l_orderkey
+			GROUP BY o.o_orderkey HAVING SUM(l.l_quantity) > 100
+			ORDER BY total_qty DESC LIMIT 10`,
+		// Q19 discounted revenue
+		`SELECT SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+			FROM lineitem l JOIN part p ON l.l_partkey = p.p_partkey
+			WHERE l.l_quantity BETWEEN 1 AND 20 AND p.p_size BETWEEN 1 AND 15`,
+		// Q20 potential part promotion
+		`SELECT s.s_name, COUNT(*) AS n FROM supplier s
+			JOIN lineitem l ON s.s_suppkey = l.l_suppkey
+			WHERE l.l_shipdate >= 9100 GROUP BY s.s_name ORDER BY n DESC LIMIT 10`,
+		// Q21 suppliers who kept orders waiting
+		`SELECT s.s_name, COUNT(*) AS numwait FROM supplier s
+			JOIN lineitem l ON s.s_suppkey = l.l_suppkey
+			WHERE l.l_returnflag = 'R' GROUP BY s.s_name ORDER BY numwait DESC LIMIT 10`,
+		// Q22 global sales opportunity
+		`SELECT c_mktsegment, COUNT(*) AS numcust, SUM(c_acctbal) AS totacctbal
+			FROM customer WHERE c_acctbal > 500
+			GROUP BY c_mktsegment ORDER BY c_mktsegment`,
+	}
+}
