@@ -1,0 +1,33 @@
+# Local and CI entry points — .github/workflows/ci.yml invokes exactly these
+# targets, so a green `make ci` locally means a green CI run.
+
+GO ?= go
+
+.PHONY: build lint test race bench-smoke ci
+
+build:
+	$(GO) build ./...
+
+lint:
+	@fmt_out=$$(gofmt -l .); \
+	if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
+	fi
+	$(GO) vet ./...
+
+# -short skips the slow paper-figure experiments; the full suite
+# (`go test ./...`, no -short) is the tier-1 verification run.
+test:
+	$(GO) test -short ./...
+
+# Race-check the morsel-driven parallel executor and the SQL surface that
+# drives it.
+race:
+	$(GO) test -race -short . ./internal/exec/...
+
+# One iteration of the parallel scan benchmark: catches bit-rot in the
+# benchmark harness without paying for a full measurement run.
+bench-smoke:
+	$(GO) test -run NONE -bench BenchmarkParallelScan -benchtime 1x .
+
+ci: build lint test race bench-smoke

@@ -179,9 +179,15 @@ func fig12(s bench.Scale) {
 		if r.Concurrent != "" {
 			conc = r.Concurrent
 		}
-		out = append(out, []string{r.Phase, conc, bench.Secs(r.SUTime)})
+		out = append(out, []string{
+			r.Phase, conc, bench.Secs(r.SUTime),
+			strconv.FormatInt(r.WorkRows, 10),
+			strconv.FormatInt(r.RemoteBytes, 10),
+			strconv.FormatInt(r.Commits, 10),
+		})
 	}
-	fmt.Print(bench.RenderTable([]string{"phase", "concurrent", "su_sims"}, out))
+	fmt.Print(bench.RenderTable(
+		[]string{"phase", "concurrent", "su_sims", "scan_rows", "remote_bytes", "commits"}, out))
 }
 
 func runAblations() {

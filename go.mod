@@ -1,0 +1,3 @@
+module polaris
+
+go 1.22

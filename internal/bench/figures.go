@@ -9,6 +9,7 @@ package bench
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"polaris/internal/catalog"
@@ -344,27 +345,49 @@ func Fig11(s Scale) []Fig11Row {
 }
 
 // Fig12Row is one phase bar of Figure 12: SU duration, with what ran
-// concurrently.
+// concurrently, plus the phase's modeled work and contention counters.
+// Durations vary with scheduling; the counters are deterministic functions
+// of what each query's snapshot covered, so tests assert on them.
 type Fig12Row struct {
 	Phase      string
 	Concurrent string // "", "DM", "Optimize"
 	SUTime     time.Duration
+	// WorkRows counts physical rows fetched by scan tasks during the phase
+	// (modeled scan work; grows when concurrent writes enlarge snapshots).
+	WorkRows int64
+	// RemoteBytes counts bytes read from remote storage during the phase —
+	// cache misses caused by concurrently committed files.
+	RemoteBytes int64
+	// Commits counts write transactions committed during the phase (the
+	// contention source: 0 in isolated phases).
+	Commits int64
 }
 
-// Fig12 runs the WP3 concurrency phases: SU alone, SU with concurrent DM, SU
-// alone, SU with concurrent storage optimization, SU alone. Paper shape: the
-// concurrent phases take significantly longer because each query's fresh
-// snapshot sees newly committed data (cache misses, new files), while
-// isolation keeps every query consistent.
+// Fig12 runs the WP3 concurrency phases: SU alone, SU with interleaved DM,
+// SU alone, SU with interleaved storage optimization, SU alone. Paper shape:
+// the concurrent phases take longer and do measurably more work because each
+// query's fresh snapshot sees newly committed data (cache misses, new
+// files), while isolation keeps every query consistent. Write work is woven
+// between queries deterministically (workload.RunInterleaved) so the
+// counters are reproducible run to run.
 func Fig12(s Scale) []Fig12Row {
 	eng := newEngine(true, 0)
 	rows := int64(3000 * float64(s))
 	if err := workload.LoadDS(eng, rows); err != nil {
 		panic(fmt.Sprintf("bench: fig12 load: %v", err))
 	}
+	var commits atomic.Int64
+	eng.Subscribe(func(core.CommitEvent) { commits.Add(1) })
 	orch := sto.New(eng, sto.Config{
 		CheckpointEvery: 10, AutoCompact: false, PublishDelta: false, MaxCompactRetries: 3,
 	})
+	remoteBytes := func() int64 {
+		var total int64
+		for _, n := range eng.Fabric.Nodes() {
+			total += n.Stats().BytesFromRemote
+		}
+		return total
+	}
 	// Three rounds of the query set per phase: one-time cold costs amortize
 	// within a phase, so an isolated phase measures steady state while a
 	// concurrent phase stays elevated throughout (its snapshot keeps moving).
@@ -388,34 +411,44 @@ func Fig12(s Scale) []Fig12Row {
 	var out []Fig12Row
 
 	run := func(phase, concurrent string) {
+		rows0, _, _ := eng.Work.Snapshot()
+		rb0 := remoteBytes()
+		c0 := commits.Load()
+		var su workload.PhaseResult
 		switch concurrent {
 		case "DM":
-			su, _, err := workload.RunConcurrent(eng, queries, dmCfg())
+			var err error
+			su, _, err = workload.RunInterleaved(eng, queries, dmCfg())
 			if err != nil {
 				panic(err)
 			}
-			out = append(out, Fig12Row{Phase: phase, Concurrent: "DM", SUTime: su.SimTime})
 		case "Optimize":
-			done := make(chan struct{})
-			go func() {
-				defer close(done)
-				for _, tbl := range workload.DSTableNames() {
-					orch.Compact(tbl)
-				}
-			}()
-			su, err := workload.RunSU(eng, queries)
+			// Storage optimization woven between queries deterministically:
+			// one table compaction lands before each of the first queries.
+			var steps []func() error
+			for _, tbl := range workload.DSTableNames() {
+				tbl := tbl
+				steps = append(steps, func() error { orch.Compact(tbl); return nil })
+			}
+			var err error
+			su, err = workload.RunInterleavedSteps(eng, queries, steps)
 			if err != nil {
 				panic(err)
 			}
-			<-done
-			out = append(out, Fig12Row{Phase: phase, Concurrent: "Optimize", SUTime: su.SimTime})
 		default:
-			su, err := workload.RunSU(eng, queries)
+			var err error
+			su, err = workload.RunSU(eng, queries)
 			if err != nil {
 				panic(err)
 			}
-			out = append(out, Fig12Row{Phase: phase, SUTime: su.SimTime})
 		}
+		rows1, _, _ := eng.Work.Snapshot()
+		out = append(out, Fig12Row{
+			Phase: phase, Concurrent: concurrent, SUTime: su.SimTime,
+			WorkRows:    rows1 - rows0,
+			RemoteBytes: remoteBytes() - rb0,
+			Commits:     commits.Load() - c0,
+		})
 	}
 	run("SU_1", "")
 	run("SU_2", "DM")

@@ -9,6 +9,9 @@ import (
 // scale; the root benchmarks re-run them at measurement scale.
 
 func TestFig7SubLinearScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow figure experiment; run without -short")
+	}
 	rows := Fig7(0.2)
 	if len(rows) != 5 {
 		t.Fatalf("rows = %d", len(rows))
@@ -29,6 +32,9 @@ func TestFig7SubLinearScaling(t *testing.T) {
 }
 
 func TestFig8ElasticBeatsBoundedAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow figure experiment; run without -short")
+	}
 	rows := Fig8(0.2)
 	if len(rows) != 2 {
 		t.Fatalf("rows = %d", len(rows))
@@ -53,6 +59,9 @@ func TestFig8ElasticBeatsBoundedAtScale(t *testing.T) {
 }
 
 func TestFig9ConcurrentLoadBarelyAffectsQueries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow figure experiment; run without -short")
+	}
 	rows := Fig9(0.1)
 	if len(rows) != 22 {
 		t.Fatalf("rows = %d", len(rows))
@@ -73,6 +82,9 @@ func TestFig9ConcurrentLoadBarelyAffectsQueries(t *testing.T) {
 }
 
 func TestFig10CompactionRestoresGreen(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow figure experiment; run without -short")
+	}
 	res := Fig10(0.2)
 	if len(res.Timeline) == 0 {
 		t.Fatal("no timeline")
@@ -99,6 +111,9 @@ func TestFig10CompactionRestoresGreen(t *testing.T) {
 }
 
 func TestFig11OneCheckpointPerTablePerPhase(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow figure experiment; run without -short")
+	}
 	rows := Fig11(0.2)
 	perTable := map[string]int{}
 	for _, r := range rows {
@@ -130,6 +145,9 @@ func TestFig11OneCheckpointPerTablePerPhase(t *testing.T) {
 }
 
 func TestFig12ConcurrencySlowsSU(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow figure experiment; run without -short")
+	}
 	rows := Fig12(0.2)
 	if len(rows) != 5 {
 		t.Fatalf("rows = %d", len(rows))
@@ -138,15 +156,32 @@ func TestFig12ConcurrencySlowsSU(t *testing.T) {
 	for _, r := range rows {
 		byPhase[r.Phase] = r
 	}
-	// Each concurrent phase must be slower than its isolated neighbor — the
-	// neighbor comparison controls for table growth across phases.
-	if byPhase["SU_2"].SUTime <= byPhase["SU_1"].SUTime {
-		t.Fatalf("SU with concurrent DM (%v) not slower than isolated SU_1 (%v)",
-			byPhase["SU_2"].SUTime, byPhase["SU_1"].SUTime)
+	// Assertions are on modeled work/contention counters, which are
+	// deterministic functions of what each query's snapshot covered —
+	// durations (wall-clock or simulated makespans) vary with scheduling.
+	for _, iso := range []string{"SU_1", "SU_3", "SU_5"} {
+		if c := byPhase[iso].Commits; c != 0 {
+			t.Fatalf("isolated phase %s saw %d write commits", iso, c)
+		}
 	}
-	if byPhase["SU_4"].SUTime <= byPhase["SU_5"].SUTime {
-		t.Fatalf("SU with concurrent Optimize (%v) not slower than isolated SU_5 (%v)",
-			byPhase["SU_4"].SUTime, byPhase["SU_5"].SUTime)
+	// SU_2 runs with interleaved DM: writes must actually land mid-phase,
+	// and the growing snapshots mean strictly more scan work than the
+	// isolated SU_1 over the identical query set (merge-on-read deletes
+	// never shrink physical rows within the phase).
+	if byPhase["SU_2"].Commits == 0 {
+		t.Fatal("SU_2 saw no concurrent DM commits; interleaving broken")
+	}
+	if w1, w2 := byPhase["SU_1"].WorkRows, byPhase["SU_2"].WorkRows; w2 <= w1 {
+		t.Fatalf("SU with concurrent DM scanned %d rows, not more than isolated SU_1's %d", w2, w1)
+	}
+	// SU_4 runs with interleaved compaction: the optimizer's commits force
+	// fresh snapshots onto newly written files, so the phase pays remote
+	// reads (cache misses) that the isolated, fully warm SU_5 does not.
+	if byPhase["SU_4"].Commits == 0 {
+		t.Fatal("SU_4 saw no Optimize commits; compaction did not run")
+	}
+	if b4, b5 := byPhase["SU_4"].RemoteBytes, byPhase["SU_5"].RemoteBytes; b4 <= b5 {
+		t.Fatalf("SU with concurrent Optimize read %d remote bytes, not more than isolated SU_5's %d", b4, b5)
 	}
 }
 

@@ -305,6 +305,7 @@ type Fabric struct {
 	memBytes, ssdBytes int64
 	slots              int
 	provisioned        int // nodes ever provisioned (elasticity metric)
+	leasedSlots        int // slots currently leased for intra-query parallelism
 }
 
 // Config configures a Fabric.
@@ -420,6 +421,79 @@ func (f *Fabric) liveCountLocked() int {
 		}
 	}
 	return c
+}
+
+// TotalSlots returns the total task-slot capacity across live nodes.
+func (f *Fabric) TotalSlots() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.totalSlotsLocked()
+}
+
+func (f *Fabric) totalSlotsLocked() int {
+	total := 0
+	for _, n := range f.nodes {
+		if n.Alive() {
+			total += n.Slots
+		}
+	}
+	return total
+}
+
+// SlotLease is a reservation of compute slots for intra-query parallelism
+// (the morsel-driven executor's worker pool). Release returns the slots to
+// the fabric; it is idempotent.
+type SlotLease struct {
+	f        *Fabric
+	n        int
+	released bool
+	mu       sync.Mutex
+}
+
+// Granted returns how many slots the lease holds.
+func (l *SlotLease) Granted() int { return l.n }
+
+// Release returns the leased slots to the fabric.
+func (l *SlotLease) Release() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.released {
+		return
+	}
+	l.released = true
+	l.f.mu.Lock()
+	l.f.leasedSlots -= l.n
+	l.f.mu.Unlock()
+}
+
+// LeaseSlots reserves up to `want` slots for a query's worker pool, bounded
+// by the slots not already leased by concurrent queries. A query always gets
+// at least one slot (it degrades to serial execution rather than blocking),
+// so leasing never deadlocks. The lease is accounting only: it sizes worker
+// pools, it does not pin tasks to particular nodes.
+func (f *Fabric) LeaseSlots(want int) *SlotLease {
+	if want < 1 {
+		want = 1
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	free := f.totalSlotsLocked() - f.leasedSlots
+	grant := want
+	if grant > free {
+		grant = free
+	}
+	if grant < 1 {
+		grant = 1
+	}
+	f.leasedSlots += grant
+	return &SlotLease{f: f, n: grant}
+}
+
+// LeasedSlots reports how many slots are currently leased.
+func (f *Fabric) LeasedSlots() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.leasedSlots
 }
 
 // KillNode removes node id from the topology; returns false if unknown.

@@ -255,3 +255,36 @@ func TestProvisionDelayConstant(t *testing.T) {
 		t.Fatal("no provisioning delay reported")
 	}
 }
+
+func TestLeaseSlotsBoundsAndRelease(t *testing.T) {
+	f := testFabric(false, 2, 2) // 2 nodes x 4 slots = 8 total
+	if f.TotalSlots() != 8 {
+		t.Fatalf("total slots = %d", f.TotalSlots())
+	}
+	l1 := f.LeaseSlots(6)
+	if l1.Granted() != 6 {
+		t.Fatalf("first lease granted %d, want 6", l1.Granted())
+	}
+	l2 := f.LeaseSlots(6)
+	if l2.Granted() != 2 {
+		t.Fatalf("second lease granted %d, want the remaining 2", l2.Granted())
+	}
+	// An exhausted fabric still grants one slot: queries degrade to serial
+	// execution instead of blocking.
+	l3 := f.LeaseSlots(4)
+	if l3.Granted() != 1 {
+		t.Fatalf("exhausted lease granted %d, want 1", l3.Granted())
+	}
+	l1.Release()
+	l1.Release() // idempotent
+	l3.Release()
+	l2.Release()
+	if got := f.LeasedSlots(); got != 0 {
+		t.Fatalf("leased after release = %d, want 0", got)
+	}
+	l4 := f.LeaseSlots(100)
+	if l4.Granted() != 8 {
+		t.Fatalf("full-fabric lease granted %d, want 8", l4.Granted())
+	}
+	l4.Release()
+}

@@ -18,11 +18,13 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"polaris/internal/catalog"
 	"polaris/internal/compute"
 	"polaris/internal/dcp"
+	"polaris/internal/exec"
 	"polaris/internal/manifest"
 	"polaris/internal/objectstore"
 )
@@ -66,6 +68,11 @@ type Options struct {
 	Isolation catalog.IsolationLevel
 	// WLMSeparate places read and write tasks on disjoint node pools.
 	WLMSeparate bool
+	// Parallelism is the target degree of intra-query parallelism for the
+	// morsel-driven executor; 0 or 1 disables parallel execution. The
+	// effective degree is additionally capped by the fabric's free slots at
+	// query start (compute.Fabric.LeaseSlots).
+	Parallelism int
 	// MaxTaskAttempts bounds DCP task retries.
 	MaxTaskAttempts int
 	// CheckpointEvery is the manifest-count threshold the STO uses.
@@ -89,6 +96,7 @@ func DefaultOptions() Options {
 		Granularity:        TableGranularity,
 		Isolation:          catalog.Snapshot,
 		WLMSeparate:        true,
+		Parallelism:        exec.DefaultDOP(),
 		MaxTaskAttempts:    3,
 		CheckpointEvery:    10,
 		CompactSmallRows:   1024,
@@ -107,13 +115,31 @@ type CommitEvent struct {
 	When     time.Time
 }
 
+// WorkStats aggregates modeled work across all queries on an engine. The
+// counters are deterministic functions of the data each query's snapshot
+// covers (physical rows, files and bytes fetched by scan tasks), which makes
+// them the stable thing to assert on in concurrency benchmarks where
+// wall-clock and even simulated durations vary run to run.
+type WorkStats struct {
+	RowsScanned atomic.Int64
+	FilesRead   atomic.Int64
+	BytesRead   atomic.Int64
+}
+
+// Snapshot returns a plain-values copy of the counters.
+func (w *WorkStats) Snapshot() (rows, files, bytes int64) {
+	return w.RowsScanned.Load(), w.FilesRead.Load(), w.BytesRead.Load()
+}
+
 // Engine is the Polaris transactional storage engine.
 type Engine struct {
 	Catalog *catalog.DB
 	Store   *objectstore.Store
 	Fabric  *compute.Fabric
 	Cache   *manifest.SnapshotCache
-	opts    Options
+	// Work counts modeled scan work engine-wide (thread-safe).
+	Work WorkStats
+	opts Options
 
 	mu         sync.Mutex
 	nextTxnID  int64

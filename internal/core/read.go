@@ -174,13 +174,19 @@ func (t *Txn) Scan(table string, opts ScanOptions) (exec.Operator, *exec.Telemet
 	return t.scanState(state, meta, opts)
 }
 
-func (t *Txn) scanState(state *manifest.TableState, meta catalog.TableMeta, opts ScanOptions) (exec.Operator, *exec.Telemetry, error) {
-	tel := &exec.Telemetry{}
+// fetchScanFiles runs the distributed fetch phase of a read: one DCP task
+// per non-empty cell set pulls that cell's data and deletion-vector files
+// through the node cache hierarchy, charging simulated IO and CPU plus the
+// engine-wide modeled work counters. Cell file lists are returned in cell
+// order, which fixes the global row order every downstream path (serial
+// union or morsel-parallel merge) preserves.
+func (t *Txn) fetchScanFiles(state *manifest.TableState, meta catalog.TableMeta) ([][]exec.ScanFile, error) {
 	cells := partitionCells(state, t.eng.opts.Distributions)
 
 	g := dcp.NewGraph()
 	store := t.eng.Store
 	model := t.eng.Fabric.Model()
+	work := &t.eng.Work
 	var taskIDs []int
 	for i, cell := range cells {
 		if len(cell.files) == 0 {
@@ -193,7 +199,7 @@ func (t *Txn) scanState(state *manifest.TableState, meta catalog.TableMeta, opts
 			ID: id, Name: fmt.Sprintf("scan-%s-cell%d", meta.Name, i), Pool: dcp.ReadPool,
 			Exec: func(ctx *dcp.Ctx) (any, error) {
 				var files []exec.ScanFile
-				var rows int64
+				var rows, bytes int64
 				for _, fe := range cell.files {
 					data, d, err := ctx.Node.ReadFile(store, fe.Path)
 					if err != nil {
@@ -212,22 +218,57 @@ func (t *Txn) scanState(state *manifest.TableState, meta catalog.TableMeta, opts
 							return nil, fmt.Errorf("core: corrupt dv %s: %w", fe.DV, err)
 						}
 						sf.DV = dv
+						bytes += int64(len(dvData))
 					}
 					files = append(files, sf)
 					// Merge-on-read scans pay for physical rows: deleted
 					// rows are read and filtered out at scan time (2.1).
 					rows += fe.Rows
+					bytes += int64(len(data))
 				}
 				ctx.Charge(model.CPU(rows)) // per-cell scan CPU
+				work.RowsScanned.Add(rows)
+				work.FilesRead.Add(int64(len(files)))
+				work.BytesRead.Add(bytes)
 				return files, nil
 			},
 		})
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 	}
 
 	if len(taskIDs) == 0 {
+		return nil, nil
+	}
+
+	nodes, delay := t.eng.Fabric.AllocateForJob(len(taskIDs))
+	res, err := dcp.Run(g, t.eng.pools(nodes), dcp.Options{
+		MaxAttempts:     t.eng.opts.MaxTaskAttempts,
+		Overhead:        model.TaskOverhead,
+		StartOffset:     delay,
+		FailureInjector: t.eng.opts.TaskFailureInjector,
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.charge(res.Makespan)
+
+	out := make([][]exec.ScanFile, 0, len(taskIDs))
+	for _, o := range dcp.Gather(res, taskIDs) {
+		out = append(out, o.([]exec.ScanFile))
+	}
+	return out, nil
+}
+
+func (t *Txn) scanState(state *manifest.TableState, meta catalog.TableMeta, opts ScanOptions) (exec.Operator, *exec.Telemetry, error) {
+	tel := &exec.Telemetry{}
+	cellFiles, err := t.fetchScanFiles(state, meta)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	if len(cellFiles) == 0 {
 		// Empty table: an empty scan with the table schema.
 		s, err := exec.NewScan(nil, opts.Columns, opts.Prune, tel)
 		if err != nil {
@@ -239,21 +280,8 @@ func (t *Txn) scanState(state *manifest.TableState, meta catalog.TableMeta, opts
 		return s, tel, nil
 	}
 
-	nodes, delay := t.eng.Fabric.AllocateForJob(len(taskIDs))
-	res, err := dcp.Run(g, t.eng.pools(nodes), dcp.Options{
-		MaxAttempts:     t.eng.opts.MaxTaskAttempts,
-		Overhead:        model.TaskOverhead,
-		StartOffset:     delay,
-		FailureInjector: t.eng.opts.TaskFailureInjector,
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-	t.charge(res.Makespan)
-
 	var ops []exec.Operator
-	for _, out := range dcp.Gather(res, taskIDs) {
-		files := out.([]exec.ScanFile)
+	for _, files := range cellFiles {
 		s, err := exec.NewScan(files, opts.Columns, opts.Prune, tel)
 		if err != nil {
 			return nil, nil, err
@@ -264,6 +292,57 @@ func (t *Txn) scanState(state *manifest.TableState, meta catalog.TableMeta, opts
 		ops = append(ops, s)
 	}
 	return &exec.UnionAll{Ins: ops}, tel, nil
+}
+
+// MorselScan is the input of a morsel-parallel table read: the snapshot's
+// live files fetched through the fabric, split into morsels whose in-order
+// concatenation equals the serial scan's row order, plus the table schema
+// and a shared thread-safe telemetry sink.
+type MorselScan struct {
+	Morsels []exec.Morsel
+	Schema  colfile.Schema
+	Tel     *exec.Telemetry
+}
+
+// ScanMorsels fetches a table snapshot like Scan but hands back the morsel
+// list instead of a flat operator, so the SQL layer can fan the morsels out
+// over a worker pool; column projection and zone-map pruning are applied by
+// the caller when it builds the per-morsel scans. asOfSeq time-travels the
+// read (0 or negative = current snapshot). `want` is the desired morsel
+// count (typically a small multiple of the worker count, so the queue
+// load-balances).
+func (t *Txn) ScanMorsels(table string, asOfSeq int64, want int) (*MorselScan, error) {
+	if asOfSeq == 0 {
+		asOfSeq = -1
+	}
+	state, meta, err := t.Snapshot(table, asOfSeq)
+	if err != nil {
+		return nil, err
+	}
+	cellFiles, err := t.fetchScanFiles(state, meta)
+	if err != nil {
+		return nil, err
+	}
+	var flat []exec.ScanFile
+	for _, files := range cellFiles {
+		flat = append(flat, files...)
+	}
+	morsels, err := exec.SplitMorsels(flat, want)
+	if err != nil {
+		return nil, err
+	}
+	return &MorselScan{Morsels: morsels, Schema: meta.Schema, Tel: &exec.Telemetry{}}, nil
+}
+
+// Parallelism returns the engine's configured intra-query parallelism target.
+func (t *Txn) Parallelism() int { return t.eng.opts.Parallelism }
+
+// LeaseDOP reserves up to want worker slots on the fabric for this query's
+// morsel workers, returning the granted degree of parallelism and a release
+// function (safe to call more than once).
+func (t *Txn) LeaseDOP(want int) (int, func()) {
+	lease := t.eng.Fabric.LeaseSlots(want)
+	return lease.Granted(), lease.Release
 }
 
 // ReadAll is a convenience that scans a table and materializes all rows.

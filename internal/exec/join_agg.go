@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"polaris/internal/colfile"
 )
@@ -18,15 +19,19 @@ const (
 )
 
 // HashJoin is a build/probe equi-join. The right child is the build side.
+// With Parallelism > 1 the build side is hash-partitioned and the partition
+// tables are built concurrently; probe results are identical to the serial
+// build because each partition preserves build-row order.
 type HashJoin struct {
 	Left, Right Operator
 	// LeftKeys and RightKeys are column indexes into each child's schema.
 	LeftKeys, RightKeys []int
 	Type                JoinType
+	Parallelism         int
 	Tel                 *Telemetry
 
 	built  bool
-	table  map[string][]int
+	parts  []map[string][]int // len is the build partition count
 	buildB *colfile.Batch
 	schema colfile.Schema
 }
@@ -44,25 +49,94 @@ func (j *HashJoin) Schema() colfile.Schema {
 	return j.schema
 }
 
+// buildParallelMinRows is the build-side size below which a partitioned
+// parallel build is not worth the fan-out overhead.
+const buildParallelMinRows = 4096
+
 func (j *HashJoin) build() error {
 	all, err := Collect(j.Right)
 	if err != nil {
 		return err
 	}
 	j.buildB = all
-	j.table = make(map[string][]int, all.NumRows())
-	for i := 0; i < all.NumRows(); i++ {
-		k, ok := hashKeyAt(all, j.RightKeys, i)
-		if !ok {
-			continue // NULL keys never match
-		}
-		j.table[k] = append(j.table[k], i)
+	n := all.NumRows()
+	p := j.Parallelism
+	if p < 1 || n < buildParallelMinRows {
+		p = 1
 	}
+
+	// Pass 1: key extraction and partition bucketing, parallel over row
+	// ranges (NULL keys get no bucket and never match). Each range worker
+	// appends its row indices to per-(range, partition) buckets in row
+	// order, keeping total work O(n).
+	keys := make([]string, n)
+	buckets := make([][][]int, p) // [range][partition] -> row indices
+	chunk := (n + p - 1) / p
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		buckets[w] = make([][]int, p)
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				k, ok := hashKeyAt(all, j.RightKeys, i)
+				if !ok {
+					continue
+				}
+				keys[i] = k
+				part := int(fnv32a(k) % uint32(p))
+				buckets[w][part] = append(buckets[w][part], i)
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	// Pass 2: each worker owns one hash partition and inserts its buckets
+	// in range order — row order overall — so lookups see matches in the
+	// same order a serial build would produce.
+	j.parts = make([]map[string][]int, p)
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			part := make(map[string][]int)
+			for r := 0; r < p; r++ {
+				for _, i := range buckets[r][w] {
+					part[keys[i]] = append(part[keys[i]], i)
+				}
+			}
+			j.parts[w] = part
+		}(w)
+	}
+	wg.Wait()
+
 	if j.Tel != nil {
-		j.Tel.RowsProcessed.Add(int64(all.NumRows()))
+		j.Tel.RowsProcessed.Add(int64(n))
 	}
 	j.built = true
 	return nil
+}
+
+// lookup finds the build rows matching a probe key.
+func (j *HashJoin) lookup(k string) []int {
+	return j.parts[fnv32a(k)%uint32(len(j.parts))][k]
+}
+
+// fnv32a is the FNV-1a hash used to assign keys to build partitions.
+func fnv32a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
 }
 
 // Next implements Operator.
@@ -85,7 +159,7 @@ func (j *HashJoin) Next() (*colfile.Batch, error) {
 			k, ok := hashKeyAt(lb, j.LeftKeys, i)
 			var matches []int
 			if ok {
-				matches = j.table[k]
+				matches = j.lookup(k)
 			}
 			switch j.Type {
 			case SemiJoin:
@@ -169,11 +243,15 @@ type AggSpec struct {
 	Name string
 }
 
-// HashAgg groups by key expressions and computes aggregates.
+// HashAgg groups by key expressions and computes aggregates. In Partial mode
+// (the per-worker phase of two-phase parallel aggregation) it emits
+// mergeable partial states — per aggregate a value column plus, for SUM/AVG,
+// a non-NULL count column — which MergeAgg folds into final values.
 type HashAgg struct {
 	In      Operator
 	GroupBy []Expr
 	Aggs    []AggSpec
+	Partial bool
 	Tel     *Telemetry
 
 	schema colfile.Schema
@@ -229,6 +307,9 @@ func (h *HashAgg) Schema() colfile.Schema {
 			}
 		}
 		h.schema = append(h.schema, colfile.Field{Name: name, Type: t})
+		if h.Partial && partialWidth(a.Kind) == 2 {
+			h.schema = append(h.schema, colfile.Field{Name: name + "$cnt", Type: colfile.Int64})
+		}
 	}
 	return h.schema
 }
@@ -272,29 +353,10 @@ func (h *HashAgg) Next() (*colfile.Batch, error) {
 			}
 		}
 		for r := 0; r < b.NumRows(); r++ {
-			var kb strings.Builder
-			vals := make([]any, len(keyVecs))
-			for i, kv := range keyVecs {
-				if kv.IsNull(r) {
-					kb.WriteString("\x01NULL\x00")
-					vals[i] = nil
-				} else {
-					fmt.Fprintf(&kb, "%v\x00", kv.Value(r))
-					vals[i] = kv.Value(r)
-				}
-			}
-			key := kb.String()
+			key, vals := groupKey(keyVecs, r)
 			st, ok := groups[key]
 			if !ok {
-				st = &aggState{
-					groupVals: vals,
-					count:     make([]int64, len(h.Aggs)),
-					sumF:      make([]float64, len(h.Aggs)),
-					sumI:      make([]int64, len(h.Aggs)),
-					isFloat:   make([]bool, len(h.Aggs)),
-					minmax:    make([]any, len(h.Aggs)),
-					seen:      make([]bool, len(h.Aggs)),
-				}
+				st = newAggState(vals, len(h.Aggs))
 				groups[key] = st
 				order = append(order, key)
 			}
@@ -336,50 +398,24 @@ func (h *HashAgg) Next() (*colfile.Batch, error) {
 		}
 	}
 
-	// Global aggregate with no groups and no input still yields one row.
-	if len(h.GroupBy) == 0 && len(order) == 0 {
-		st := &aggState{
-			count:   make([]int64, len(h.Aggs)),
-			sumF:    make([]float64, len(h.Aggs)),
-			sumI:    make([]int64, len(h.Aggs)),
-			isFloat: make([]bool, len(h.Aggs)),
-			minmax:  make([]any, len(h.Aggs)),
-			seen:    make([]bool, len(h.Aggs)),
-		}
-		groups[""] = st
+	// Global aggregate with no groups and no input still yields one row
+	// (in partial mode MergeAgg synthesizes it, so workers stay silent).
+	if len(h.GroupBy) == 0 && len(order) == 0 && !h.Partial {
+		groups[""] = newAggState(nil, len(h.Aggs))
 		order = append(order, "")
 	}
 
 	out := colfile.NewBatch(h.Schema())
 	for _, key := range order {
 		st := groups[key]
-		row := make([]any, 0, len(h.GroupBy)+len(h.Aggs))
+		row := make([]any, 0, len(h.Schema()))
 		row = append(row, st.groupVals...)
 		for i, a := range h.Aggs {
-			switch a.Kind {
-			case AggCount, AggCountStar:
-				row = append(row, st.count[i])
-			case AggSum:
-				if st.count[i] == 0 {
-					row = append(row, nil)
-				} else if st.isFloat[i] || h.schema[len(h.GroupBy)+i].Type == colfile.Float64 {
-					row = append(row, st.sumF[i])
-				} else {
-					row = append(row, st.sumI[i])
-				}
-			case AggAvg:
-				if st.count[i] == 0 {
-					row = append(row, nil)
-				} else {
-					row = append(row, st.sumF[i]/float64(st.count[i]))
-				}
-			case AggMin, AggMax:
-				if !st.seen[i] {
-					row = append(row, nil)
-				} else {
-					row = append(row, st.minmax[i])
-				}
+			if h.Partial {
+				row = h.appendPartial(row, a.Kind, st, i)
+				continue
 			}
+			row = append(row, finalAggValue(a.Kind, st, i, h.schema[len(h.GroupBy)+i].Type))
 		}
 		if err := out.AppendRow(row...); err != nil {
 			return nil, err
@@ -389,6 +425,62 @@ func (h *HashAgg) Next() (*colfile.Batch, error) {
 		return nil, nil
 	}
 	return out, nil
+}
+
+// appendPartial emits the mergeable state of one aggregate: its running
+// value, plus the non-NULL count for SUM/AVG (needed so the merge can tell
+// "all NULL" from zero).
+func (h *HashAgg) appendPartial(row []any, k AggKind, st *aggState, i int) []any {
+	switch k {
+	case AggCount, AggCountStar:
+		return append(row, st.count[i])
+	case AggSum:
+		var v any
+		if st.count[i] > 0 {
+			if st.isFloat[i] || h.partialSumType(i) == colfile.Float64 {
+				v = st.sumF[i]
+			} else {
+				v = st.sumI[i]
+			}
+		}
+		return append(append(row, v), st.count[i])
+	case AggAvg:
+		return append(append(row, st.sumF[i]), st.count[i])
+	case AggMin, AggMax:
+		if !st.seen[i] {
+			return append(row, nil)
+		}
+		return append(row, st.minmax[i])
+	}
+	return append(row, nil)
+}
+
+// partialSumType returns the declared type of aggregate slot i's value column
+// in the partial schema.
+func (h *HashAgg) partialSumType(i int) colfile.DataType {
+	col := len(h.GroupBy)
+	for j := 0; j < i; j++ {
+		col += partialWidth(h.Aggs[j].Kind)
+	}
+	return h.Schema()[col].Type
+}
+
+// groupKey encodes row r's group-key values into a hash key plus the
+// materialized values (nil for NULL). Both aggregation phases — the partial
+// HashAgg workers and the final MergeAgg — go through this one encoding:
+// groups merge iff their keys are byte-identical.
+func groupKey(vecs []*colfile.Vec, r int) (string, []any) {
+	var kb strings.Builder
+	vals := make([]any, len(vecs))
+	for i, v := range vecs {
+		if v.IsNull(r) {
+			kb.WriteString("\x01NULL\x00")
+		} else {
+			vals[i] = v.Value(r)
+			fmt.Fprintf(&kb, "%v\x00", vals[i])
+		}
+	}
+	return kb.String(), vals
 }
 
 func compareAny(a, b any) int {

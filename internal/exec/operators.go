@@ -51,6 +51,12 @@ type Scan struct {
 	schema  colfile.Schema
 	colIdxs []int
 
+	// groupLo/groupHi bound the row-group window read from each file;
+	// groupHi == 0 means all groups. Morsel scans use the window to split a
+	// single large file across workers (the window then applies to the
+	// morsel's only file).
+	groupLo, groupHi int
+
 	fileIdx  int
 	reader   *colfile.Reader
 	groupIdx int
@@ -124,13 +130,23 @@ func (s *Scan) Next() (*colfile.Batch, error) {
 				return nil, fmt.Errorf("exec: file %d schema mismatch", s.fileIdx)
 			}
 			s.reader = r
-			s.groupIdx = 0
+			s.groupIdx = s.groupLo
 			s.rowBase = 0
-			if s.tel != nil {
+			for g := 0; g < s.groupLo && g < r.NumRowGroups(); g++ {
+				s.rowBase += uint32(r.RowGroupRows(g))
+			}
+			// When a file is split into windowed morsels, only the first
+			// window accounts the file's bytes, keeping totals stable across
+			// degrees of parallelism.
+			if s.tel != nil && s.groupLo == 0 {
 				s.tel.BytesScanned.Add(int64(len(s.files[s.fileIdx].Data)))
 			}
 		}
-		if s.groupIdx >= s.reader.NumRowGroups() {
+		end := s.reader.NumRowGroups()
+		if s.groupHi > 0 && s.groupHi < end {
+			end = s.groupHi
+		}
+		if s.groupIdx >= end {
 			s.reader = nil
 			s.fileIdx++
 			continue

@@ -1,0 +1,372 @@
+// Morsel-driven parallel execution (in the spirit of modern analytic
+// engines): a table scan is split into morsels — per-file, or per-row-group
+// windows of a large file — which a pool of workers pulls from a shared
+// queue. Each worker runs the embarrassingly parallel fragment of the plan
+// (scan, filter, project, partial aggregation) over its morsels; a final
+// merge stage combines the per-morsel outputs deterministically. Because the
+// morsel decomposition is fixed by configuration (not by how many workers
+// the fabric grants), results are byte-stable for a given Parallelism
+// setting; across different settings, and against the serial executor,
+// float SUM/AVG may differ in the last ulp because summation order changes.
+package exec
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"polaris/internal/colfile"
+)
+
+// Morsel is the unit of parallel scan work: one or more immutable data files,
+// optionally restricted to a row-group window (only meaningful when the
+// morsel holds a single file).
+type Morsel struct {
+	Files []ScanFile
+	// GroupLo/GroupHi bound the row groups read; GroupHi == 0 means all.
+	GroupLo, GroupHi int
+}
+
+// SplitMorsels slices a flat scan-file list into morsels: one per file, with
+// large files further split by row group so at least `want` morsels exist
+// when the data allows. The concatenation of all morsels in order preserves
+// the input's global row order exactly.
+func SplitMorsels(files []ScanFile, want int) ([]Morsel, error) {
+	if want < 1 {
+		want = 1
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	var morsels []Morsel
+	if len(files) >= want {
+		for _, f := range files {
+			morsels = append(morsels, Morsel{Files: []ScanFile{f}})
+		}
+		return morsels, nil
+	}
+	// Fewer files than wanted workers: split each file into up to
+	// ceil(want/len(files)) row-group windows.
+	per := (want + len(files) - 1) / len(files)
+	for _, f := range files {
+		r, err := colfile.OpenReader(f.Data)
+		if err != nil {
+			return nil, err
+		}
+		groups := r.NumRowGroups()
+		parts := per
+		if parts > groups {
+			parts = groups
+		}
+		if parts <= 1 {
+			morsels = append(morsels, Morsel{Files: []ScanFile{f}})
+			continue
+		}
+		chunk := (groups + parts - 1) / parts
+		for lo := 0; lo < groups; lo += chunk {
+			hi := lo + chunk
+			if hi > groups {
+				hi = groups
+			}
+			morsels = append(morsels, Morsel{Files: []ScanFile{f}, GroupLo: lo, GroupHi: hi})
+		}
+	}
+	return morsels, nil
+}
+
+// NewMorselScan builds a scan over one morsel.
+func NewMorselScan(m Morsel, cols []string, hint *PruneHint, tel *Telemetry) (*Scan, error) {
+	s, err := NewScan(m.Files, cols, hint, tel)
+	if err != nil {
+		return nil, err
+	}
+	s.groupLo, s.groupHi = m.GroupLo, m.GroupHi
+	return s, nil
+}
+
+// DefaultDOP returns the default degree of parallelism: GOMAXPROCS.
+func DefaultDOP() int { return runtime.GOMAXPROCS(0) }
+
+// RunMorsels fans the morsels out over a pool of dop workers. For each morsel
+// the builder constructs the per-worker plan fragment (typically
+// scan→filter→project or scan→filter→partial-agg); the fragment's output is
+// collected into one batch per morsel. Results are returned in morsel order,
+// which is what makes the downstream merge deterministic. A nil batch is
+// returned for morsels that produced no rows.
+func RunMorsels(morsels []Morsel, dop int, build func(m Morsel) (Operator, error)) ([]*colfile.Batch, error) {
+	if dop < 1 {
+		dop = 1
+	}
+	if dop > len(morsels) {
+		dop = len(morsels)
+	}
+	results := make([]*colfile.Batch, len(morsels))
+	if len(morsels) == 0 {
+		return results, nil
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		mu     sync.Mutex
+		first  error
+		wg     sync.WaitGroup
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if first == nil {
+			first = err
+		}
+		mu.Unlock()
+		failed.Store(true)
+	}
+	for w := 0; w < dop; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(morsels) || failed.Load() {
+					return
+				}
+				op, err := build(morsels[i])
+				if err != nil {
+					fail(err)
+					return
+				}
+				b, err := Collect(op)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if b != nil && b.NumRows() > 0 {
+					results[i] = b
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if first != nil {
+		return nil, first
+	}
+	return results, nil
+}
+
+// BatchList replays a sequence of pre-materialized batches in order: the
+// gather side of a parallel exchange.
+type BatchList struct {
+	schema  colfile.Schema
+	batches []*colfile.Batch
+	idx     int
+}
+
+// NewBatchList builds the exchange-gather operator over per-morsel outputs
+// (nil entries are skipped). The schema parameter covers the all-empty case.
+func NewBatchList(schema colfile.Schema, batches []*colfile.Batch) *BatchList {
+	out := &BatchList{schema: schema}
+	for _, b := range batches {
+		if b != nil && b.NumRows() > 0 {
+			out.batches = append(out.batches, b)
+		}
+	}
+	return out
+}
+
+// Schema implements Operator.
+func (l *BatchList) Schema() colfile.Schema { return l.schema }
+
+// Next implements Operator.
+func (l *BatchList) Next() (*colfile.Batch, error) {
+	if l.idx >= len(l.batches) {
+		return nil, nil
+	}
+	b := l.batches[l.idx]
+	l.idx++
+	return b, nil
+}
+
+// MergeAgg is the final stage of two-phase parallel aggregation: it consumes
+// the partial-state batches emitted by HashAgg{Partial: true} workers and
+// folds them into final aggregate values. Output rows are ordered by group
+// key, so the result is identical for every degree of parallelism.
+type MergeAgg struct {
+	In     Operator // stream of partial batches (groups + partial agg states)
+	Groups int      // number of leading group-key columns
+	Aggs   []AggSpec
+	Tel    *Telemetry
+
+	schema colfile.Schema
+	done   bool
+}
+
+// partialWidth returns how many partial-state columns an aggregate carries.
+func partialWidth(k AggKind) int {
+	switch k {
+	case AggSum, AggAvg:
+		return 2 // running sum + non-NULL count
+	default:
+		return 1
+	}
+}
+
+// Schema implements Operator: the final schema, derived from the partial
+// layout (groups..., then per aggregate its value column first).
+func (m *MergeAgg) Schema() colfile.Schema {
+	if m.schema != nil {
+		return m.schema
+	}
+	in := m.In.Schema()
+	m.schema = append(m.schema, in[:m.Groups]...)
+	col := m.Groups
+	for _, a := range m.Aggs {
+		t := colfile.Int64
+		switch a.Kind {
+		case AggAvg:
+			t = colfile.Float64
+		case AggSum, AggMin, AggMax:
+			if col < len(in) {
+				t = in[col].Type
+			}
+		}
+		m.schema = append(m.schema, colfile.Field{Name: a.Name, Type: t})
+		col += partialWidth(a.Kind)
+	}
+	return m.schema
+}
+
+// Next implements Operator.
+func (m *MergeAgg) Next() (*colfile.Batch, error) {
+	if m.done {
+		return nil, nil
+	}
+	m.done = true
+	groups := make(map[string]*aggState)
+	for {
+		b, err := m.In.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		if m.Tel != nil {
+			m.Tel.RowsProcessed.Add(int64(b.NumRows()))
+		}
+		for r := 0; r < b.NumRows(); r++ {
+			key, vals := groupKey(b.Cols[:m.Groups], r)
+			st, ok := groups[key]
+			if !ok {
+				st = newAggState(vals, len(m.Aggs))
+				groups[key] = st
+			}
+			col := m.Groups
+			for i, a := range m.Aggs {
+				v := b.Cols[col]
+				switch a.Kind {
+				case AggCount, AggCountStar:
+					st.count[i] += v.Ints[r]
+				case AggSum:
+					cnt := b.Cols[col+1].Ints[r]
+					st.count[i] += cnt
+					if cnt > 0 {
+						switch v.Type {
+						case colfile.Int64:
+							st.sumI[i] += v.Ints[r]
+							st.sumF[i] += float64(v.Ints[r])
+						case colfile.Float64:
+							st.isFloat[i] = true
+							st.sumF[i] += v.Floats[r]
+						}
+					}
+				case AggAvg:
+					cnt := b.Cols[col+1].Ints[r]
+					st.count[i] += cnt
+					if cnt > 0 {
+						st.sumF[i] += v.Floats[r]
+					}
+				case AggMin, AggMax:
+					if v.IsNull(r) {
+						break // this worker saw no values for the group
+					}
+					cur := v.Value(r)
+					if !st.seen[i] {
+						st.minmax[i], st.seen[i] = cur, true
+						break
+					}
+					c := compareAny(cur, st.minmax[i])
+					if (a.Kind == AggMin && c < 0) || (a.Kind == AggMax && c > 0) {
+						st.minmax[i] = cur
+					}
+				}
+				col += partialWidth(a.Kind)
+			}
+		}
+	}
+
+	// A global aggregate over zero partial rows still yields one row.
+	if m.Groups == 0 && len(groups) == 0 {
+		groups[""] = newAggState(nil, len(m.Aggs))
+	}
+
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := colfile.NewBatch(m.Schema())
+	for _, key := range keys {
+		st := groups[key]
+		row := make([]any, 0, m.Groups+len(m.Aggs))
+		row = append(row, st.groupVals...)
+		for i, a := range m.Aggs {
+			row = append(row, finalAggValue(a.Kind, st, i, m.schema[m.Groups+i].Type))
+		}
+		if err := out.AppendRow(row...); err != nil {
+			return nil, err
+		}
+	}
+	if out.NumRows() == 0 {
+		return nil, nil
+	}
+	return out, nil
+}
+
+// newAggState builds an empty accumulator for nAggs aggregates.
+func newAggState(groupVals []any, nAggs int) *aggState {
+	return &aggState{
+		groupVals: groupVals,
+		count:     make([]int64, nAggs),
+		sumF:      make([]float64, nAggs),
+		sumI:      make([]int64, nAggs),
+		isFloat:   make([]bool, nAggs),
+		minmax:    make([]any, nAggs),
+		seen:      make([]bool, nAggs),
+	}
+}
+
+// finalAggValue renders one aggregate's final value from its accumulator.
+func finalAggValue(k AggKind, st *aggState, i int, outType colfile.DataType) any {
+	switch k {
+	case AggCount, AggCountStar:
+		return st.count[i]
+	case AggSum:
+		if st.count[i] == 0 {
+			return nil
+		}
+		if st.isFloat[i] || outType == colfile.Float64 {
+			return st.sumF[i]
+		}
+		return st.sumI[i]
+	case AggAvg:
+		if st.count[i] == 0 {
+			return nil
+		}
+		return st.sumF[i] / float64(st.count[i])
+	case AggMin, AggMax:
+		if !st.seen[i] {
+			return nil
+		}
+		return st.minmax[i]
+	}
+	return nil
+}

@@ -350,12 +350,27 @@ func runSelect(tx *core.Txn, st *SelectStmt) (*colfile.Batch, error) {
 	if len(st.Joins) == 0 {
 		hint = prunableRange(st.Where, meta, aliasOf(st.From))
 	}
+
+	// Single-table statements go through the morsel-driven parallel
+	// executor when the engine has a parallelism target — except bare
+	// LIMIT queries (no ORDER BY, no aggregation), where the serial
+	// streaming path stops scanning after N rows while the parallel path
+	// would materialize every morsel first.
+	bareLimit := st.Limit >= 0 && len(st.OrderBy) == 0 && !selectHasAgg(st)
+	if len(st.Joins) == 0 && tx.Parallelism() > 1 && !bareLimit {
+		b, handled, err := runSelectParallel(tx, st, hint)
+		if handled {
+			return b, err
+		}
+	}
+
 	op, sc, err := scanTable(tx, st.From, hint)
 	if err != nil {
 		return nil, err
 	}
 
-	// Joins: hash equi-joins extracted from the ON conjunction.
+	// Joins: hash equi-joins extracted from the ON conjunction. The build
+	// side is partitioned and built in parallel per the engine's DOP.
 	for _, j := range st.Joins {
 		rop, rsc, err := scanTable(tx, j.Table, nil)
 		if err != nil {
@@ -369,7 +384,10 @@ func runSelect(tx *core.Txn, st *SelectStmt) (*colfile.Batch, error) {
 		if j.Left {
 			jt = exec.LeftOuterJoin
 		}
-		op = &exec.HashJoin{Left: op, Right: rop, LeftKeys: lk, RightKeys: rk, Type: jt}
+		op = &exec.HashJoin{
+			Left: op, Right: rop, LeftKeys: lk, RightKeys: rk, Type: jt,
+			Parallelism: tx.Parallelism(),
+		}
 		sc = &scope{
 			schema: append(append(colfile.Schema{}, sc.schema...), rsc.schema...),
 			quals:  append(append([]string{}, sc.quals...), rsc.quals...),
@@ -384,15 +402,8 @@ func runSelect(tx *core.Txn, st *SelectStmt) (*colfile.Batch, error) {
 		op = &exec.Filter{In: op, Pred: pred}
 	}
 
-	hasAgg := len(st.GroupBy) > 0 || st.Having != nil
-	for _, it := range st.Items {
-		if containsAgg(it.Expr) {
-			hasAgg = true
-		}
-	}
-
 	var outOp exec.Operator
-	if hasAgg {
+	if selectHasAgg(st) {
 		outOp, err = planAggregate(st, op, sc)
 	} else {
 		outOp, err = planProjection(st, op, sc)
@@ -400,7 +411,24 @@ func runSelect(tx *core.Txn, st *SelectStmt) (*colfile.Batch, error) {
 	if err != nil {
 		return nil, err
 	}
+	return finishSelect(st, outOp)
+}
 
+// selectHasAgg reports whether the statement needs an aggregation stage.
+func selectHasAgg(st *SelectStmt) bool {
+	if len(st.GroupBy) > 0 || st.Having != nil {
+		return true
+	}
+	for _, it := range st.Items {
+		if containsAgg(it.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+// finishSelect applies ORDER BY and LIMIT and materializes the result.
+func finishSelect(st *SelectStmt, outOp exec.Operator) (*colfile.Batch, error) {
 	if len(st.OrderBy) > 0 {
 		keys, err := orderKeys(st, outOp.Schema())
 		if err != nil {
@@ -412,6 +440,119 @@ func runSelect(tx *core.Txn, st *SelectStmt) (*colfile.Batch, error) {
 		outOp = &exec.Limit{In: outOp, N: st.Limit, Offset: st.Offset}
 	}
 	return exec.Collect(outOp)
+}
+
+// morselsPerWorker over-decomposes the scan so the morsel queue
+// load-balances across workers with uneven morsel costs.
+const morselsPerWorker = 4
+
+// runSelectParallel executes a single-table SELECT on the morsel-driven
+// parallel executor: the scan is split into morsels, a worker pool sized by
+// the fabric's slot lease runs scan→filter→project (or scan→filter→partial
+// aggregation) per morsel, and a deterministic merge — ordered concatenation
+// for projections, key-ordered MergeAgg for aggregates — combines the
+// per-morsel outputs. When concurrent queries hold the fabric's slots the
+// lease degrades the worker count (possibly to 1) but the plan shape — and
+// therefore the output order — stays the same for a given Parallelism
+// config. Returns handled=false only for an empty table, which falls back
+// to the serial path.
+func runSelectParallel(tx *core.Txn, st *SelectStmt, hint *exec.PruneHint) (*colfile.Batch, bool, error) {
+	dop, release := tx.LeaseDOP(tx.Parallelism())
+	defer release()
+	// The morsel split is sized from the CONFIGURED parallelism, not the
+	// granted one: the lease only caps live workers, so the decomposition —
+	// and with it float-aggregation order — cannot shift under slot
+	// contention.
+	ms, err := tx.ScanMorsels(st.From.Name, st.From.AsOfSeq, tx.Parallelism()*morselsPerWorker)
+	if err != nil {
+		return nil, true, err
+	}
+	if len(ms.Morsels) == 0 {
+		return nil, false, nil // empty table: serial path supplies the schema
+	}
+
+	alias := aliasOf(st.From)
+	quals := make([]string, len(ms.Schema))
+	for i := range quals {
+		quals[i] = alias
+	}
+	sc := &scope{schema: ms.Schema, quals: quals}
+
+	var pred exec.Expr
+	if st.Where != nil {
+		pred, err = bind(st.Where, sc)
+		if err != nil {
+			return nil, true, err
+		}
+	}
+	// fragment builds the per-worker plan prefix over one morsel. Bound
+	// expressions are stateless values, safe to share across workers; the
+	// telemetry sink is atomic.
+	fragment := func(m exec.Morsel) (exec.Operator, error) {
+		var op exec.Operator
+		s, err := exec.NewMorselScan(m, nil, hint, ms.Tel)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.SetSchema(ms.Schema); err != nil {
+			return nil, err
+		}
+		op = s
+		if pred != nil {
+			op = &exec.Filter{In: op, Pred: pred, Tel: ms.Tel}
+		}
+		return op, nil
+	}
+	// schemaSource stands in for the scan when instantiating prototype
+	// operators whose Schema() needs an input schema.
+	schemaSource := func() exec.Operator { return exec.NewBatchSource(colfile.NewBatch(ms.Schema)) }
+
+	var outOp exec.Operator
+	if selectHasAgg(st) {
+		ap, err := buildAggPlan(st, sc)
+		if err != nil {
+			return nil, true, err
+		}
+		batches, err := exec.RunMorsels(ms.Morsels, dop, func(m exec.Morsel) (exec.Operator, error) {
+			op, err := fragment(m)
+			if err != nil {
+				return nil, err
+			}
+			return &exec.HashAgg{In: op, GroupBy: ap.groupBy, Aggs: ap.aggs, Partial: true}, nil
+		})
+		if err != nil {
+			return nil, true, err
+		}
+		partialProto := &exec.HashAgg{In: schemaSource(), GroupBy: ap.groupBy, Aggs: ap.aggs, Partial: true}
+		outOp = &exec.MergeAgg{
+			In:     exec.NewBatchList(partialProto.Schema(), batches),
+			Groups: len(ap.groupBy), Aggs: ap.aggs, Tel: ms.Tel,
+		}
+		if ap.having != nil {
+			outOp = &exec.Filter{In: outOp, Pred: ap.having}
+		}
+		outOp = &exec.Project{In: outOp, Exprs: ap.outExprs, Names: ap.outNames}
+	} else {
+		exprs, names, err := buildProjection(st, sc)
+		if err != nil {
+			return nil, true, err
+		}
+		batches, err := exec.RunMorsels(ms.Morsels, dop, func(m exec.Morsel) (exec.Operator, error) {
+			op, err := fragment(m)
+			if err != nil {
+				return nil, err
+			}
+			return &exec.Project{In: op, Exprs: exprs, Names: names}, nil
+		})
+		if err != nil {
+			return nil, true, err
+		}
+		proto := &exec.Project{In: schemaSource(), Exprs: exprs, Names: names}
+		outOp = exec.NewBatchList(proto.Schema(), batches)
+	}
+
+	b, err := finishSelect(st, outOp)
+	return b, true, err
 }
 
 func aliasOf(r TableRef) string {
@@ -489,6 +630,15 @@ func equiKeys(on Expr, left, right *scope) (lk, rk []int, err error) {
 }
 
 func planProjection(st *SelectStmt, op exec.Operator, sc *scope) (exec.Operator, error) {
+	exprs, names, err := buildProjection(st, sc)
+	if err != nil {
+		return nil, err
+	}
+	return &exec.Project{In: op, Exprs: exprs, Names: names}, nil
+}
+
+// buildProjection binds the SELECT items to output expressions and names.
+func buildProjection(st *SelectStmt, sc *scope) ([]exec.Expr, []string, error) {
 	var exprs []exec.Expr
 	var names []string
 	for _, it := range st.Items {
@@ -501,12 +651,12 @@ func planProjection(st *SelectStmt, op exec.Operator, sc *scope) (exec.Operator,
 		}
 		e, err := bind(it.Expr, sc)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		exprs = append(exprs, e)
 		names = append(names, itemName(it))
 	}
-	return &exec.Project{In: op, Exprs: exprs, Names: names}, nil
+	return exprs, names, nil
 }
 
 func itemName(it SelectItem) string {
@@ -519,10 +669,34 @@ func itemName(it SelectItem) string {
 	return ""
 }
 
-// planAggregate lowers GROUP BY queries: the HashAgg computes group keys and
-// every aggregate found in the items/HAVING; a post-projection then maps item
-// expressions over the aggregate's output.
+// aggPlan is the lowered form of an aggregate query: group-key and aggregate
+// specs for the (serial or partial/merge) aggregation stage, plus the
+// post-aggregation projection and HAVING predicate over its output.
+type aggPlan struct {
+	groupBy  []exec.Expr
+	aggs     []exec.AggSpec
+	outExprs []exec.Expr
+	outNames []string
+	having   exec.Expr
+}
+
+// planAggregate lowers GROUP BY queries for the serial path: the HashAgg
+// computes group keys and every aggregate found in the items/HAVING; a
+// post-projection then maps item expressions over the aggregate's output.
 func planAggregate(st *SelectStmt, op exec.Operator, sc *scope) (exec.Operator, error) {
+	ap, err := buildAggPlan(st, sc)
+	if err != nil {
+		return nil, err
+	}
+	var out exec.Operator = &exec.HashAgg{In: op, GroupBy: ap.groupBy, Aggs: ap.aggs}
+	if ap.having != nil {
+		out = &exec.Filter{In: out, Pred: ap.having}
+	}
+	return &exec.Project{In: out, Exprs: ap.outExprs, Names: ap.outNames}, nil
+}
+
+// buildAggPlan binds an aggregate query's pieces against the input scope.
+func buildAggPlan(st *SelectStmt, sc *scope) (*aggPlan, error) {
 	groupExprs := make([]exec.Expr, len(st.GroupBy))
 	for i, g := range st.GroupBy {
 		e, err := bind(g, sc)
@@ -634,11 +808,10 @@ func planAggregate(st *SelectStmt, op exec.Operator, sc *scope) (exec.Operator, 
 		}
 	}
 
-	var out exec.Operator = &exec.HashAgg{In: op, GroupBy: groupExprs, Aggs: aggs}
-	if havingExpr != nil {
-		out = &exec.Filter{In: out, Pred: havingExpr}
-	}
-	return &exec.Project{In: out, Exprs: outExprs, Names: outNames}, nil
+	return &aggPlan{
+		groupBy: groupExprs, aggs: aggs,
+		outExprs: outExprs, outNames: outNames, having: havingExpr,
+	}, nil
 }
 
 func aggKind(f FuncExpr) (exec.AggKind, error) {

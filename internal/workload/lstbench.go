@@ -147,50 +147,110 @@ type DMConfig struct {
 	CompactTimes int
 }
 
+// dmSteps flattens a DM phase into statement-level steps — per table, 2
+// INSERTs then 6 DELETEs with compaction after each set of 3 — so callers
+// can run them back to back (RunDM) or deterministically interleaved with
+// query work (RunInterleaved). Each step accumulates its effect into res.
+func dmSteps(eng *core.Engine, cfg DMConfig, res *PhaseResult) []func() error {
+	var steps []func() error
+	for _, table := range cfg.Tables {
+		table := table
+		for s := 0; s < 2; s++ {
+			steps = append(steps, func() error {
+				lo := *cfg.NextSK
+				hi := lo + cfg.InsertRows
+				*cfg.NextSK = hi
+				return eng.RunWithRetries(3, func(tx *core.Txn) error {
+					n, err := tx.Insert(table, DSBatch(table, lo, hi))
+					res.RowsIn += n
+					res.SimTime += tx.SimTime()
+					return err
+				})
+			})
+		}
+		for s := 0; s < 6; s++ {
+			s := s
+			steps = append(steps, func() error {
+				mod := cfg.DeleteEvery + int64(s)
+				err := eng.RunWithRetries(3, func(tx *core.Txn) error {
+					n, err := tx.Delete(table, exec.Bin{
+						Kind: exec.OpEq,
+						L:    exec.Bin{Kind: exec.OpMod, L: exec.ColRef{Idx: 0}, R: exec.Const{Val: cfg.DeleteEvery * 7}},
+						R:    exec.Const{Val: mod},
+					})
+					res.RowsDel += n
+					res.SimTime += tx.SimTime()
+					return err
+				})
+				if err != nil {
+					return err
+				}
+				if (s+1)%3 == 0 && cfg.Compact != nil {
+					cfg.Compact(table)
+				}
+				return nil
+			})
+		}
+	}
+	return steps
+}
+
 // RunDM runs one Data Maintenance phase: per table, 2 inserts and 6 deletes,
 // with compaction interleaved per the paper's description when Compact is
 // provided.
 func RunDM(eng *core.Engine, cfg DMConfig) (PhaseResult, error) {
 	res := PhaseResult{Name: "DM", Began: time.Now()}
-	for _, table := range cfg.Tables {
-		// 2 INSERT statements
-		for s := 0; s < 2; s++ {
-			lo := *cfg.NextSK
-			hi := lo + cfg.InsertRows
-			*cfg.NextSK = hi
-			err := eng.RunWithRetries(3, func(tx *core.Txn) error {
-				n, err := tx.Insert(table, DSBatch(table, lo, hi))
-				res.RowsIn += n
-				res.SimTime += tx.SimTime()
-				return err
-			})
-			if err != nil {
-				return res, err
-			}
-		}
-		// 6 DELETE statements, compaction after each set of 3
-		for s := 0; s < 6; s++ {
-			mod := cfg.DeleteEvery + int64(s)
-			err := eng.RunWithRetries(3, func(tx *core.Txn) error {
-				n, err := tx.Delete(table, exec.Bin{
-					Kind: exec.OpEq,
-					L:    exec.Bin{Kind: exec.OpMod, L: exec.ColRef{Idx: 0}, R: exec.Const{Val: cfg.DeleteEvery * 7}},
-					R:    exec.Const{Val: mod},
-				})
-				res.RowsDel += n
-				res.SimTime += tx.SimTime()
-				return err
-			})
-			if err != nil {
-				return res, err
-			}
-			if (s+1)%3 == 0 && cfg.Compact != nil {
-				cfg.Compact(table)
-			}
+	for _, step := range dmSteps(eng, cfg, &res) {
+		if err := step(); err != nil {
+			return res, err
 		}
 	}
 	res.Finished = time.Now()
 	return res, nil
+}
+
+// RunInterleavedSteps runs the query set with write/maintenance steps woven
+// through it DETERMINISTICALLY: one step completes before each query until
+// the steps drain, any remainder runs after the last query. Unlike a
+// goroutine race, every run interleaves identically, so the modeled work
+// each query's snapshot sees — and therefore the phase's work counters — is
+// reproducible. Benchmark figures that must assert on read/write contention
+// use this runner.
+func RunInterleavedSteps(eng *core.Engine, queries []string, steps []func() error) (PhaseResult, error) {
+	su := PhaseResult{Name: "SU", Began: time.Now()}
+	sess := sql.NewSession(eng)
+	defer sess.Close()
+	si := 0
+	for _, q := range queries {
+		if si < len(steps) {
+			if err := steps[si](); err != nil {
+				return su, err
+			}
+			si++
+		}
+		r, err := sess.Exec(q)
+		if err != nil {
+			return su, fmt.Errorf("workload: interleaved query failed: %w\n%s", err, q)
+		}
+		su.SimTime += r.SimTime
+		su.Queries++
+	}
+	for ; si < len(steps); si++ {
+		if err := steps[si](); err != nil {
+			return su, err
+		}
+	}
+	su.Finished = time.Now()
+	return su, nil
+}
+
+// RunInterleaved runs an SU phase with a DM phase woven through it
+// deterministically, one DM statement per query (see RunInterleavedSteps).
+func RunInterleaved(eng *core.Engine, queries []string, cfg DMConfig) (PhaseResult, PhaseResult, error) {
+	dm := PhaseResult{Name: "DM", Began: time.Now()}
+	su, err := RunInterleavedSteps(eng, queries, dmSteps(eng, cfg, &dm))
+	dm.Finished = time.Now()
+	return su, dm, err
 }
 
 // RunConcurrent runs an SU phase and a DM phase concurrently (WP3, Fig. 12)

@@ -17,10 +17,20 @@
 // collection, Delta-format publishing) are all exposed; see the examples/
 // directory for tour programs and bench_test.go plus cmd/benchrunner for the
 // reproduction of the paper's evaluation figures.
+//
+// Query execution is morsel-driven parallel: table scans are split into
+// per-file (or per-row-group) morsels fanned out over a worker pool sized by
+// the Parallelism config knob (default GOMAXPROCS) and capped by the compute
+// fabric's free slots, with filters, projections and partial aggregations
+// running per worker ahead of a deterministic merge: results are stable run
+// to run for a given Parallelism setting (across different settings, float
+// SUM/AVG may differ in the last ulp as summation order changes). Set
+// Parallelism to 1 to force serial execution.
 package polaris
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"polaris/internal/catalog"
@@ -43,6 +53,13 @@ type Config struct {
 	InitNodes int
 	// SlotsPerNode is per-node task parallelism.
 	SlotsPerNode int
+	// Parallelism is the intra-query degree of parallelism for the
+	// morsel-driven executor: the target worker-pool size for parallel
+	// scans, filters, projections and partial aggregation, and the build
+	// partition count for parallel hash joins. 0 means GOMAXPROCS; 1
+	// disables parallel execution. The effective degree is capped by the
+	// fabric's free compute slots when the query starts.
+	Parallelism int
 	// Distributions is the number of cell buckets of d(r).
 	Distributions int
 	// RowsPerFile / RowsPerGroup control data file layout.
@@ -75,6 +92,7 @@ func DefaultConfig() Config {
 		Elastic:         true,
 		InitNodes:       4,
 		SlotsPerNode:    4,
+		Parallelism:     runtime.GOMAXPROCS(0),
 		Distributions:   8,
 		RowsPerFile:     1 << 14,
 		RowsPerGroup:    1 << 11,
@@ -112,6 +130,9 @@ func Open(cfg Config) *DB {
 	})
 	opts := core.DefaultOptions()
 	opts.Distributions = cfg.Distributions
+	if cfg.Parallelism > 0 {
+		opts.Parallelism = cfg.Parallelism
+	}
 	if cfg.RowsPerFile > 0 {
 		opts.RowsPerFile = cfg.RowsPerFile
 	}
