@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build lint test race bench-smoke ci
+.PHONY: build lint test race bench-smoke bench-json ci
 
 build:
 	$(GO) build ./...
@@ -25,9 +25,17 @@ test:
 race:
 	$(GO) test -race -short . ./internal/exec/...
 
-# One iteration of the parallel scan benchmark: catches bit-rot in the
-# benchmark harness without paying for a full measurement run.
+# One iteration of the parallel scan and join benchmarks: catches bit-rot in
+# the benchmark harness (and the cross-DOP identity checks inside them)
+# without paying for a full measurement run.
 bench-smoke:
-	$(GO) test -run NONE -bench BenchmarkParallelScan -benchtime 1x .
+	$(GO) test -run NONE -bench 'BenchmarkParallelScan|BenchmarkParallelJoin' -benchtime 1x .
+
+# Full micro-benchmark measurement written as machine-readable JSON: the
+# per-PR perf trajectory (ns/op + allocs/op for ParallelScan/ParallelJoin at
+# DOP 1/4/8 plus the fmt-vs-typed key-encoding baseline). CI uploads the
+# file as a workflow artifact.
+bench-json:
+	$(GO) run ./cmd/benchrunner -json BENCH_PR2.json
 
 ci: build lint test race bench-smoke

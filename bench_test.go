@@ -9,7 +9,6 @@ package polaris
 
 import (
 	"fmt"
-	"sync"
 	"testing"
 
 	"polaris/internal/bench"
@@ -109,80 +108,23 @@ func BenchmarkFig12ReadWriteConcurrency(b *testing.B) {
 	}
 }
 
-// parallelScanDataset lazily builds the morsel-bench dataset: 16 immutable
-// colfiles of 64Ki rows each (1M rows), 4Ki-row groups.
-var parallelScanDataset = struct {
-	once  sync.Once
-	files []exec.ScanFile
-	rows  int64
-}{}
-
-func parallelScanFiles(b *testing.B) []exec.ScanFile {
-	d := &parallelScanDataset
-	d.once.Do(func() {
-		schema := colfile.Schema{
-			{Name: "grp", Type: colfile.Int64},
-			{Name: "val", Type: colfile.Int64},
-		}
-		const nFiles, rowsPerFile, rowsPerGroup = 16, 1 << 16, 1 << 12
-		row := int64(0)
-		for f := 0; f < nFiles; f++ {
-			w := colfile.NewWriter(schema)
-			for lo := 0; lo < rowsPerFile; lo += rowsPerGroup {
-				batch := colfile.NewBatch(schema)
-				for i := 0; i < rowsPerGroup; i++ {
-					batch.Cols[0].AppendInt(row % 31)
-					batch.Cols[1].AppendInt(row % 997)
-					row++
-				}
-				if err := w.WriteBatch(batch); err != nil {
-					b.Fatal(err)
-				}
-			}
-			data, err := w.Finish()
-			if err != nil {
-				b.Fatal(err)
-			}
-			d.files = append(d.files, exec.ScanFile{Data: data})
-		}
-		d.rows = row
-	})
-	return d.files
+// microFiles returns the shared 1M-row micro-benchmark dataset (built in
+// internal/bench so cmd/benchrunner -json measures the same pipelines).
+func microFiles(b *testing.B) ([]exec.ScanFile, int64) {
+	files, rows, err := bench.MicroFiles()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return files, rows
 }
 
-// parallelScanAggregate runs the benchmark pipeline — scan → filter →
-// grouped integer aggregation — at the given DOP through the morsel-driven
-// executor, returning the merged result.
-func parallelScanAggregate(files []exec.ScanFile, dop int) (*colfile.Batch, error) {
-	pred := exec.Bin{Kind: exec.OpLt, L: exec.ColRef{Idx: 1}, R: exec.Const{Val: int64(900)}}
-	groupBy := []exec.Expr{exec.ColRef{Idx: 0, Name: "grp"}}
-	aggs := []exec.AggSpec{
-		{Kind: exec.AggCountStar, Name: "n"},
-		{Kind: exec.AggSum, Arg: exec.ColRef{Idx: 1}, Name: "sv"},
-		{Kind: exec.AggMin, Arg: exec.ColRef{Idx: 1}, Name: "mn"},
-		{Kind: exec.AggMax, Arg: exec.ColRef{Idx: 1}, Name: "mx"},
+// renderBenchRows stringifies a batch for cheap cross-DOP identity checks.
+func renderBenchRows(out *colfile.Batch) string {
+	rows := make([][]any, out.NumRows())
+	for r := range rows {
+		rows[r] = out.Row(r)
 	}
-	morsels, err := exec.SplitMorsels(files, dop*4)
-	if err != nil {
-		return nil, err
-	}
-	batches, err := exec.RunMorsels(morsels, dop, func(m exec.Morsel) (exec.Operator, error) {
-		s, err := exec.NewMorselScan(m, nil, nil, nil)
-		if err != nil {
-			return nil, err
-		}
-		return &exec.HashAgg{In: &exec.Filter{In: s, Pred: pred}, GroupBy: groupBy, Aggs: aggs, Partial: true}, nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	r, err := colfile.OpenReader(files[0].Data)
-	if err != nil {
-		return nil, err
-	}
-	proto := &exec.HashAgg{In: exec.NewBatchSource(colfile.NewBatch(r.Schema())), GroupBy: groupBy, Aggs: aggs, Partial: true}
-	merge := &exec.MergeAgg{In: exec.NewBatchList(proto.Schema(), batches), Groups: 1, Aggs: aggs}
-	return exec.Collect(merge)
+	return fmt.Sprintf("%v", rows)
 }
 
 // BenchmarkParallelScan — morsel-driven parallel scan+aggregate over the 1M
@@ -192,23 +134,18 @@ func parallelScanAggregate(files []exec.ScanFile, dop int) (*colfile.Batch, erro
 // order, so every DOP returns byte-identical output; the dop=1 sub-benchmark
 // verifies that against the merged runs.
 func BenchmarkParallelScan(b *testing.B) {
-	files := parallelScanFiles(b)
+	files, rows := microFiles(b)
 	var serial string
 	for _, dop := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("dop=%d", dop), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				out, err := parallelScanAggregate(files, dop)
+				out, err := bench.ParallelScanAggregate(files, dop)
 				if err != nil {
 					b.Fatal(err)
 				}
 				if i == 0 {
-					rendered := fmt.Sprintf("%v", func() [][]any {
-						rows := make([][]any, out.NumRows())
-						for r := range rows {
-							rows[r] = out.Row(r)
-						}
-						return rows
-					}())
+					rendered := renderBenchRows(out)
 					if serial == "" {
 						serial = rendered
 					} else if rendered != serial {
@@ -217,9 +154,74 @@ func BenchmarkParallelScan(b *testing.B) {
 				}
 			}
 			b.SetBytes(int64(len(files)) * int64(len(files[0].Data)))
-			b.ReportMetric(float64(parallelScanDataset.rows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+			b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
 		})
 	}
+}
+
+// BenchmarkParallelJoin — morsel-parallel hash-join probe over the same 1M
+// row dataset: scan → filter → probe against a shared immutable JoinTable
+// (built once, outside the measured loop), merged in morsel order. The probe
+// is the PR2 hot path: typed zero-box keys, per-worker scratch buffers and
+// bulk Take gathers — allocs/op is the headline metric, recorded per DOP in
+// BENCH_PR2.json. Results are byte-identical across every DOP (joins carry
+// no float-summation caveat); the dop=1 sub-benchmark pins that.
+func BenchmarkParallelJoin(b *testing.B) {
+	files, rows := microFiles(b)
+	table, err := bench.ParallelJoinTable()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var serial string
+	for _, dop := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("dop=%d", dop), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out, err := bench.ParallelJoinProbe(files, table, dop)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					if out.NumRows() == 0 {
+						b.Fatal("join produced no rows")
+					}
+					rendered := renderBenchRows(out)
+					if serial == "" {
+						serial = rendered
+					} else if rendered != serial {
+						b.Fatalf("dop=%d join result differs from dop=1", dop)
+					}
+				}
+			}
+			b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "probe_rows/s")
+		})
+	}
+}
+
+// BenchmarkKeyEncoding — the per-row key manufacturing cost this PR removed
+// from the join/aggregation hot path: the legacy fmt-based encoding (boxed
+// Value + Fprintf per column) vs the typed Vec.AppendKey encoding with a
+// reused scratch buffer. Compare allocs/op: fmt allocates per row, typed
+// amortizes to ~zero.
+func BenchmarkKeyEncoding(b *testing.B) {
+	batch := bench.KeyEncodeBatch(1 << 14)
+	keys := []int{0, 1}
+	b.Run("fmt", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if bench.FmtKeyEncode(batch, keys) == 0 {
+				b.Fatal("empty encoding")
+			}
+		}
+	})
+	b.Run("typed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if bench.TypedKeyEncode(batch, keys) == 0 {
+				b.Fatal("empty encoding")
+			}
+		}
+	})
 }
 
 // BenchmarkAblationConflictGranularity — DESIGN.md ablation 1: committed

@@ -1,0 +1,208 @@
+package bench
+
+// Wall-clock micro-benchmarks of the morsel-driven parallel executor, shared
+// by the root-level testing.B benchmarks (bench_test.go) and cmd/benchrunner
+// -json. Unlike the figure experiments these measure real time and real
+// allocations, so their results feed the per-PR perf trajectory
+// (BENCH_PR2.json) rather than paper-shape comparisons.
+
+import (
+	"fmt"
+	"sync"
+
+	"polaris/internal/colfile"
+	"polaris/internal/exec"
+)
+
+// microDataset lazily builds the micro-bench scan dataset: 16 immutable
+// colfiles of 64Ki rows each (1M rows), 4Ki-row groups.
+var microDataset struct {
+	once  sync.Once
+	files []exec.ScanFile
+	rows  int64
+	err   error
+}
+
+// MicroFiles returns the shared 1M-row columnar dataset (grp, val int64
+// columns) used by the parallel scan and join micro-benchmarks, plus its row
+// count.
+func MicroFiles() ([]exec.ScanFile, int64, error) {
+	d := &microDataset
+	d.once.Do(func() {
+		schema := colfile.Schema{
+			{Name: "grp", Type: colfile.Int64},
+			{Name: "val", Type: colfile.Int64},
+		}
+		const nFiles, rowsPerFile, rowsPerGroup = 16, 1 << 16, 1 << 12
+		row := int64(0)
+		for f := 0; f < nFiles; f++ {
+			w := colfile.NewWriter(schema)
+			for lo := 0; lo < rowsPerFile; lo += rowsPerGroup {
+				batch := colfile.NewBatch(schema)
+				for i := 0; i < rowsPerGroup; i++ {
+					batch.Cols[0].AppendInt(row % 31)
+					batch.Cols[1].AppendInt(row % 997)
+					row++
+				}
+				if err := w.WriteBatch(batch); err != nil {
+					d.err = err
+					return
+				}
+			}
+			data, err := w.Finish()
+			if err != nil {
+				d.err = err
+				return
+			}
+			d.files = append(d.files, exec.ScanFile{Data: data})
+		}
+		d.rows = row
+	})
+	return d.files, d.rows, d.err
+}
+
+// ParallelScanAggregate runs the scan micro-benchmark pipeline — scan →
+// filter → grouped integer aggregation — at the given DOP through the
+// morsel-driven executor, returning the merged result.
+func ParallelScanAggregate(files []exec.ScanFile, dop int) (*colfile.Batch, error) {
+	pred := exec.Bin{Kind: exec.OpLt, L: exec.ColRef{Idx: 1}, R: exec.Const{Val: int64(900)}}
+	groupBy := []exec.Expr{exec.ColRef{Idx: 0, Name: "grp"}}
+	aggs := []exec.AggSpec{
+		{Kind: exec.AggCountStar, Name: "n"},
+		{Kind: exec.AggSum, Arg: exec.ColRef{Idx: 1}, Name: "sv"},
+		{Kind: exec.AggMin, Arg: exec.ColRef{Idx: 1}, Name: "mn"},
+		{Kind: exec.AggMax, Arg: exec.ColRef{Idx: 1}, Name: "mx"},
+	}
+	morsels, err := exec.SplitMorsels(files, dop*4)
+	if err != nil {
+		return nil, err
+	}
+	batches, err := exec.RunMorsels(morsels, dop, func(m exec.Morsel) (exec.Operator, error) {
+		s, err := exec.NewMorselScan(m, nil, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		return &exec.HashAgg{In: &exec.Filter{In: s, Pred: pred}, GroupBy: groupBy, Aggs: aggs, Partial: true}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	r, err := colfile.OpenReader(files[0].Data)
+	if err != nil {
+		return nil, err
+	}
+	proto := &exec.HashAgg{In: exec.NewBatchSource(colfile.NewBatch(r.Schema())), GroupBy: groupBy, Aggs: aggs, Partial: true}
+	merge := &exec.MergeAgg{In: exec.NewBatchList(proto.Schema(), batches), Groups: 1, Aggs: aggs}
+	return exec.Collect(merge)
+}
+
+// joinBuild lazily builds the join micro-benchmark's shared build side:
+// 64Ki rows keyed 0..2^14, i.e. 4 matches per key.
+var joinBuild struct {
+	once  sync.Once
+	table *exec.JoinTable
+	err   error
+}
+
+// ParallelJoinTable returns the immutable build side of the join
+// micro-benchmark, built once: probing grp∈[0,31) against keys hashed over
+// [0, 16Ki) with duplicate matches.
+func ParallelJoinTable() (*exec.JoinTable, error) {
+	d := &joinBuild
+	d.once.Do(func() {
+		schema := colfile.Schema{
+			{Name: "k", Type: colfile.Int64},
+			{Name: "tag", Type: colfile.Int64},
+		}
+		b := colfile.NewBatch(schema)
+		for i := int64(0); i < 1<<16; i++ {
+			b.Cols[0].AppendInt(i % (1 << 14))
+			b.Cols[1].AppendInt(i)
+		}
+		d.table, d.err = exec.BuildHashJoin(exec.NewBatchSource(b), []int{0}, exec.InnerJoin, 4, nil)
+	})
+	return d.table, d.err
+}
+
+// ParallelJoinProbe fans the probe side of the join micro-benchmark out over
+// the morsel executor at the given DOP: scan → filter → probe against the
+// shared JoinTable, merged in morsel order. Every surviving probe row
+// (val < 64, ~6% of the dataset) finds 4 matches (grp < 31 < 2^14).
+func ParallelJoinProbe(files []exec.ScanFile, table *exec.JoinTable, dop int) (*colfile.Batch, error) {
+	pred := exec.Bin{Kind: exec.OpLt, L: exec.ColRef{Idx: 1}, R: exec.Const{Val: int64(64)}}
+	morsels, err := exec.SplitMorsels(files, dop*4)
+	if err != nil {
+		return nil, err
+	}
+	batches, err := exec.RunMorsels(morsels, dop, func(m exec.Morsel) (exec.Operator, error) {
+		s, err := exec.NewMorselScan(m, nil, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		return &exec.Probe{In: &exec.Filter{In: s, Pred: pred}, Table: table, LeftKeys: []int{0}}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	r, err := colfile.OpenReader(files[0].Data)
+	if err != nil {
+		return nil, err
+	}
+	proto := &exec.Probe{In: exec.NewBatchSource(colfile.NewBatch(r.Schema())), Table: table, LeftKeys: []int{0}}
+	return exec.Collect(exec.NewBatchList(proto.Schema(), batches))
+}
+
+// FmtKeyEncode is the pre-PR2 fmt-based key encoding ("%v\x00" separators,
+// one boxed Value call and one Fprintf per column per row), kept as the
+// measured baseline the typed encoding is compared against in BENCH_PR2.json.
+// Returns a checksum so the compiler cannot elide the work.
+func FmtKeyEncode(b *colfile.Batch, keys []int) int {
+	total := 0
+	for i := 0; i < b.NumRows(); i++ {
+		var sb []byte
+		for _, c := range keys {
+			v := b.Cols[c]
+			if v.IsNull(i) {
+				continue
+			}
+			sb = fmt.Appendf(sb, "%v\x00", v.Value(i))
+		}
+		total += len(sb)
+	}
+	return total
+}
+
+// TypedKeyEncode encodes the same keys with the zero-box Vec.AppendKey path
+// and a reused scratch buffer — the encoding the executor now uses for join
+// probes and group keys.
+func TypedKeyEncode(b *colfile.Batch, keys []int) int {
+	total := 0
+	var scratch []byte
+	for i := 0; i < b.NumRows(); i++ {
+		scratch = scratch[:0]
+		for _, c := range keys {
+			v := b.Cols[c]
+			if v.IsNull(i) {
+				continue
+			}
+			scratch = v.AppendKey(scratch, i)
+		}
+		total += len(scratch)
+	}
+	return total
+}
+
+// KeyEncodeBatch builds the mixed-type batch (int64 + string columns) both
+// key-encoding benchmarks run over.
+func KeyEncodeBatch(rows int) *colfile.Batch {
+	schema := colfile.Schema{
+		{Name: "k", Type: colfile.Int64},
+		{Name: "s", Type: colfile.String},
+	}
+	b := colfile.NewBatch(schema)
+	for i := 0; i < rows; i++ {
+		b.Cols[0].AppendInt(int64(i % 4096))
+		b.Cols[1].AppendStr(fmt.Sprintf("key-%d", i%512))
+	}
+	return b
+}

@@ -15,7 +15,9 @@
 package colfile
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 )
 
 // DataType enumerates supported column types.
@@ -166,6 +168,51 @@ func (v *Vec) Value(i int) any {
 	return nil
 }
 
+// Key-encoding tag bytes. Every encoded value starts with one of these, so a
+// NULL can never collide with a value and adjacent columns stay
+// self-delimiting.
+const (
+	keyNull  = 0x00
+	keyValue = 0x01
+)
+
+// AppendKey appends a self-delimiting binary encoding of position i to dst
+// and returns the extended slice. The encoding is the engine's canonical
+// hash/group key: two rows encode to the same bytes iff their values are
+// equal column by column. Unlike a separator-based text rendering, it cannot
+// collide across column boundaries (strings are length-prefixed, so
+// ("a\x00","b") and ("a","\x00b") differ) and it never boxes the value.
+// Int64 and Float64 use order-preserving big-endian transforms, so a
+// bytewise sort of encoded keys sorts numeric groups in value order.
+func (v *Vec) AppendKey(dst []byte, i int) []byte {
+	if v.IsNull(i) {
+		return append(dst, keyNull)
+	}
+	switch v.Type {
+	case Int64:
+		u := uint64(v.Ints[i]) ^ (1 << 63) // flip sign bit: bytewise order = numeric order
+		return binary.BigEndian.AppendUint64(append(dst, keyValue), u)
+	case Float64:
+		u := math.Float64bits(v.Floats[i])
+		if u&(1<<63) != 0 {
+			u = ^u // negative floats: reverse order
+		} else {
+			u ^= 1 << 63
+		}
+		return binary.BigEndian.AppendUint64(append(dst, keyValue), u)
+	case String:
+		s := v.Strs[i]
+		dst = binary.AppendUvarint(append(dst, keyValue), uint64(len(s)))
+		return append(dst, s...)
+	case Bool:
+		if v.Bools[i] {
+			return append(dst, keyValue, 1)
+		}
+		return append(dst, keyValue, 0)
+	}
+	return append(dst, keyNull)
+}
+
 // Append appends position i of src (which must have the same type).
 func (v *Vec) Append(src *Vec, i int) {
 	if src.IsNull(i) {
@@ -229,22 +276,161 @@ func (v *Vec) AppendValue(x any) error {
 	return nil
 }
 
-// Filter returns a new vector containing only positions where keep[i] is true.
-func (v *Vec) Filter(keep []bool) *Vec {
-	out := NewVec(v.Type)
-	for i := 0; i < v.Len(); i++ {
-		if keep[i] {
-			out.Append(v, i)
+// Take gathers the given positions into a new vector: out[k] = v[idx[k]].
+// An index of -1 yields NULL, which is how join gathers pad the unmatched
+// side of an outer join. The gather is a typed bulk copy — no per-row
+// interface boxing.
+func (v *Vec) Take(idx []int) *Vec {
+	n := len(idx)
+	out := &Vec{Type: v.Type}
+	var nulls []bool
+	setNull := func(k int) {
+		if nulls == nil {
+			nulls = make([]bool, n)
 		}
+		nulls[k] = true
+	}
+	switch v.Type {
+	case Int64:
+		out.Ints = make([]int64, n)
+		for k, i := range idx {
+			if i < 0 || v.IsNull(i) {
+				setNull(k)
+				continue
+			}
+			out.Ints[k] = v.Ints[i]
+		}
+	case Float64:
+		out.Floats = make([]float64, n)
+		for k, i := range idx {
+			if i < 0 || v.IsNull(i) {
+				setNull(k)
+				continue
+			}
+			out.Floats[k] = v.Floats[i]
+		}
+	case String:
+		out.Strs = make([]string, n)
+		for k, i := range idx {
+			if i < 0 || v.IsNull(i) {
+				setNull(k)
+				continue
+			}
+			out.Strs[k] = v.Strs[i]
+		}
+	case Bool:
+		out.Bools = make([]bool, n)
+		for k, i := range idx {
+			if i < 0 || v.IsNull(i) {
+				setNull(k)
+				continue
+			}
+			out.Bools[k] = v.Bools[i]
+		}
+	}
+	out.Nulls = nulls
+	return out
+}
+
+// Filter returns a new vector containing only positions where keep[i] is
+// true. The kept positions are copied with typed bulk loops rather than
+// per-row appends.
+func (v *Vec) Filter(keep []bool) *Vec {
+	kept := 0
+	for _, k := range keep {
+		if k {
+			kept++
+		}
+	}
+	out := &Vec{Type: v.Type}
+	var nulls []bool
+	hasNull := false
+	if v.Nulls != nil {
+		nulls = make([]bool, kept)
+	}
+	o := 0
+	fill := func(i int) {
+		if nulls != nil && v.Nulls[i] {
+			nulls[o] = true
+			hasNull = true
+		}
+	}
+	switch v.Type {
+	case Int64:
+		out.Ints = make([]int64, kept)
+		for i, k := range keep {
+			if k {
+				out.Ints[o] = v.Ints[i]
+				fill(i)
+				o++
+			}
+		}
+	case Float64:
+		out.Floats = make([]float64, kept)
+		for i, k := range keep {
+			if k {
+				out.Floats[o] = v.Floats[i]
+				fill(i)
+				o++
+			}
+		}
+	case String:
+		out.Strs = make([]string, kept)
+		for i, k := range keep {
+			if k {
+				out.Strs[o] = v.Strs[i]
+				fill(i)
+				o++
+			}
+		}
+	case Bool:
+		out.Bools = make([]bool, kept)
+		for i, k := range keep {
+			if k {
+				out.Bools[o] = v.Bools[i]
+				fill(i)
+				o++
+			}
+		}
+	}
+	if hasNull {
+		out.Nulls = nulls
 	}
 	return out
 }
 
-// Slice returns a new vector with positions [lo, hi).
+// Slice returns a new vector with positions [lo, hi), as a bulk copy (the
+// result does not alias the source).
 func (v *Vec) Slice(lo, hi int) *Vec {
-	out := NewVec(v.Type)
-	for i := lo; i < hi; i++ {
-		out.Append(v, i)
+	n := hi - lo
+	out := &Vec{Type: v.Type}
+	switch v.Type {
+	case Int64:
+		out.Ints = make([]int64, n)
+		copy(out.Ints, v.Ints[lo:hi])
+	case Float64:
+		out.Floats = make([]float64, n)
+		copy(out.Floats, v.Floats[lo:hi])
+	case String:
+		out.Strs = make([]string, n)
+		copy(out.Strs, v.Strs[lo:hi])
+	case Bool:
+		out.Bools = make([]bool, n)
+		copy(out.Bools, v.Bools[lo:hi])
+	}
+	if v.Nulls != nil {
+		hasNull := false
+		nulls := make([]bool, n)
+		copy(nulls, v.Nulls[lo:hi])
+		for _, b := range nulls {
+			if b {
+				hasNull = true
+				break
+			}
+		}
+		if hasNull {
+			out.Nulls = nulls
+		}
 	}
 	return out
 }
@@ -300,6 +486,16 @@ func (b *Batch) Filter(keep []bool) *Batch {
 	out := &Batch{Schema: b.Schema, Cols: make([]*Vec, len(b.Cols))}
 	for i, v := range b.Cols {
 		out.Cols[i] = v.Filter(keep)
+	}
+	return out
+}
+
+// Take gathers the given row positions into a new batch (see Vec.Take; an
+// index of -1 yields a NULL row on every column).
+func (b *Batch) Take(idx []int) *Batch {
+	out := &Batch{Schema: b.Schema, Cols: make([]*Vec, len(b.Cols))}
+	for i, v := range b.Cols {
+		out.Cols[i] = v.Take(idx)
 	}
 	return out
 }

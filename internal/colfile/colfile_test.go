@@ -445,3 +445,104 @@ func TestPropertyFileRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestVecTake(t *testing.T) {
+	v := NewVec(Int64)
+	for i := 0; i < 5; i++ {
+		v.AppendInt(int64(i * 10))
+	}
+	v.AppendNull()
+	got := v.Take([]int{4, -1, 0, 5, 2})
+	if got.Len() != 5 {
+		t.Fatalf("len = %d", got.Len())
+	}
+	if got.Ints[0] != 40 || got.Ints[2] != 0 || got.Ints[4] != 20 {
+		t.Fatalf("take = %v", got.Ints)
+	}
+	if !got.IsNull(1) || !got.IsNull(3) {
+		t.Fatal("-1 and NULL source positions must be NULL")
+	}
+	if got.IsNull(0) || got.IsNull(2) || got.IsNull(4) {
+		t.Fatal("value positions marked NULL")
+	}
+
+	// Every type, per-row equivalence with Append.
+	b := buildBatch(t, 50, 7)
+	b.Cols[2].Strs[9] = "x\x00y"
+	idx := []int{49, 0, -1, 9, 9, 25}
+	tb := b.Take(idx)
+	for k, i := range idx {
+		for c := range b.Cols {
+			var want any
+			if i >= 0 {
+				want = b.Cols[c].Value(i)
+			}
+			if got := tb.Cols[c].Value(k); !reflect.DeepEqual(got, want) {
+				t.Fatalf("col %d row %d: got %v want %v", c, k, got, want)
+			}
+		}
+	}
+}
+
+func TestVecFilterSliceWithNulls(t *testing.T) {
+	v := NewVec(String)
+	v.AppendStr("a")
+	v.AppendNull()
+	v.AppendStr("c")
+	v.AppendStr("d")
+	f := v.Filter([]bool{true, true, false, true})
+	if f.Len() != 3 || f.Strs[0] != "a" || !f.IsNull(1) || f.Strs[2] != "d" {
+		t.Fatalf("filter = %v nulls=%v", f.Strs, f.Nulls)
+	}
+	s := v.Slice(1, 3)
+	if s.Len() != 2 || !s.IsNull(0) || s.Strs[1] != "c" {
+		t.Fatalf("slice = %v nulls=%v", s.Strs, s.Nulls)
+	}
+	// Slicing a null-free window of a nullable vector drops the null mask.
+	s2 := v.Slice(2, 4)
+	if s2.Nulls != nil {
+		t.Fatalf("null-free slice kept mask %v", s2.Nulls)
+	}
+	// Slice must not alias the source.
+	s.Strs[1] = "mut"
+	if v.Strs[2] != "c" {
+		t.Fatal("slice aliases source")
+	}
+}
+
+func TestAppendKeyDistinguishesTypesAndNulls(t *testing.T) {
+	enc := func(v *Vec, i int) string { return string(v.AppendKey(nil, i)) }
+
+	iv := NewVec(Int64)
+	iv.AppendInt(0)
+	iv.AppendInt(1)
+	iv.AppendInt(-1)
+	iv.AppendNull()
+	keys := map[string]bool{}
+	for i := 0; i < 4; i++ {
+		keys[enc(iv, i)] = true
+	}
+	if len(keys) != 4 {
+		t.Fatalf("int keys collide: %d distinct of 4", len(keys))
+	}
+	// Order-preserving: -1 < 0 < 1 bytewise.
+	if !(enc(iv, 2) < enc(iv, 0) && enc(iv, 0) < enc(iv, 1)) {
+		t.Fatal("int key encoding is not order-preserving")
+	}
+
+	fv := NewVec(Float64)
+	fv.AppendFloat(-2.5)
+	fv.AppendFloat(0)
+	fv.AppendFloat(3.25)
+	if !(enc(fv, 0) < enc(fv, 1) && enc(fv, 1) < enc(fv, 2)) {
+		t.Fatal("float key encoding is not order-preserving")
+	}
+
+	// NULL never equals any value, including zero values.
+	bv := NewVec(Bool)
+	bv.AppendBool(false)
+	bv.AppendNull()
+	if enc(bv, 0) == enc(bv, 1) {
+		t.Fatal("NULL bool collides with false")
+	}
+}

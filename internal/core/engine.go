@@ -124,6 +124,11 @@ type WorkStats struct {
 	RowsScanned atomic.Int64
 	FilesRead   atomic.Int64
 	BytesRead   atomic.Int64
+	// MergeFreeAggs counts aggregate plans that took the distribution-aware
+	// merge-free path (GROUP BY covers the distribution column, so per-cell
+	// partials are disjoint by d(r) and the merge phase is skipped). Plan
+	// choice is deterministic, so tests assert on this counter.
+	MergeFreeAggs atomic.Int64
 }
 
 // Snapshot returns a plain-values copy of the counters.

@@ -334,8 +334,40 @@ func (t *Txn) ScanMorsels(table string, asOfSeq int64, want int) (*MorselScan, e
 	return &MorselScan{Morsels: morsels, Schema: meta.Schema, Tel: &exec.Telemetry{}}, nil
 }
 
+// ScanCellMorsels fetches a table snapshot like ScanMorsels but aligns the
+// morsels with the table's distribution cells: one morsel per non-empty cell,
+// holding all of that cell's files. Because d(r) assigns every row with a
+// given distribution-column value (NULLs included) to exactly one cell, a
+// per-morsel aggregation grouped on the distribution column is already
+// complete for its groups — the plan can skip the merge phase entirely
+// (MergeAgg{MergeFree: true}). The decomposition is independent of the
+// degree of parallelism, so results are identical at every DOP.
+func (t *Txn) ScanCellMorsels(table string, asOfSeq int64) (*MorselScan, error) {
+	if asOfSeq == 0 {
+		asOfSeq = -1
+	}
+	state, meta, err := t.Snapshot(table, asOfSeq)
+	if err != nil {
+		return nil, err
+	}
+	cellFiles, err := t.fetchScanFiles(state, meta)
+	if err != nil {
+		return nil, err
+	}
+	var morsels []exec.Morsel
+	for _, files := range cellFiles {
+		if len(files) > 0 {
+			morsels = append(morsels, exec.Morsel{Files: files})
+		}
+	}
+	return &MorselScan{Morsels: morsels, Schema: meta.Schema, Tel: &exec.Telemetry{}}, nil
+}
+
 // Parallelism returns the engine's configured intra-query parallelism target.
 func (t *Txn) Parallelism() int { return t.eng.opts.Parallelism }
+
+// Work exposes the engine-wide modeled-work counters to the query layer.
+func (t *Txn) Work() *WorkStats { return &t.eng.Work }
 
 // LeaseDOP reserves up to want worker slots on the fabric for this query's
 // morsel workers, returning the granted degree of parallelism and a release

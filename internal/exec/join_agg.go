@@ -18,10 +18,227 @@ const (
 	SemiJoin // EXISTS-style: emit left rows with >=1 match, left schema only
 )
 
+// JoinTable is the immutable product of a hash-join build: the materialized
+// build side plus hash-partitioned key tables. Once BuildHashJoin returns,
+// a JoinTable is read-only, so any number of Probe workers may share it
+// concurrently without synchronization — the foundation of the
+// morsel-parallel probe.
+type JoinTable struct {
+	parts []map[string][]int // len is the build partition count
+	build *colfile.Batch
+	typ   JoinType
+}
+
+// BuildSchema returns the build side's schema.
+func (jt *JoinTable) BuildSchema() colfile.Schema { return jt.build.Schema }
+
+// lookup finds the build rows matching an encoded probe key (no allocation:
+// the []byte→string map index is allocation-free in Go).
+func (jt *JoinTable) lookup(k []byte) []int {
+	return jt.parts[fnv32a(k)%uint32(len(jt.parts))][string(k)]
+}
+
+// buildParallelMinRows is the build-side size below which a partitioned
+// parallel build is not worth the fan-out overhead.
+const buildParallelMinRows = 4096
+
+// BuildHashJoin drains the build operator and constructs the shared probe
+// table. With parallelism > 1 and a large enough build side, the build is
+// hash-partitioned and the partition tables are built concurrently; probe
+// results are identical to a serial build because each partition inserts its
+// rows in build-row order.
+func BuildHashJoin(build Operator, keys []int, typ JoinType, parallelism int, tel *Telemetry) (*JoinTable, error) {
+	all, err := Collect(build)
+	if err != nil {
+		return nil, err
+	}
+	n := all.NumRows()
+	p := parallelism
+	if p < 1 || n < buildParallelMinRows {
+		p = 1
+	}
+
+	// Pass 1: typed key encoding and partition bucketing, parallel over row
+	// ranges (NULL keys get no bucket and never match). Each range worker
+	// appends its row indices to per-(range, partition) buckets in row
+	// order, keeping total work O(n).
+	rowKeys := make([]string, n)
+	buckets := make([][][]int, p) // [range][partition] -> row indices
+	chunk := (n + p - 1) / p
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		buckets[w] = make([][]int, p)
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var scratch []byte
+			for i := lo; i < hi; i++ {
+				k, ok := appendRowKey(scratch[:0], all, keys, i)
+				scratch = k
+				if !ok {
+					continue
+				}
+				rowKeys[i] = string(k)
+				part := int(fnv32a(k) % uint32(p))
+				buckets[w][part] = append(buckets[w][part], i)
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	// Pass 2: each worker owns one hash partition and inserts its buckets
+	// in range order — row order overall — so lookups see matches in the
+	// same order a serial build would produce.
+	parts := make([]map[string][]int, p)
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			part := make(map[string][]int)
+			for r := 0; r < p; r++ {
+				for _, i := range buckets[r][w] {
+					part[rowKeys[i]] = append(part[rowKeys[i]], i)
+				}
+			}
+			parts[w] = part
+		}(w)
+	}
+	wg.Wait()
+
+	if tel != nil {
+		tel.RowsProcessed.Add(int64(n))
+	}
+	return &JoinTable{parts: parts, build: all, typ: typ}, nil
+}
+
+// fnv32a is the FNV-1a hash used to assign encoded keys to build partitions.
+func fnv32a(s []byte) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// appendRowKey encodes the key columns of row i into dst (see Vec.AppendKey);
+// ok=false when any key column is NULL — a NULL key never matches.
+func appendRowKey(dst []byte, b *colfile.Batch, keys []int, i int) ([]byte, bool) {
+	for _, c := range keys {
+		v := b.Cols[c]
+		if v.IsNull(i) {
+			return dst, false
+		}
+		dst = v.AppendKey(dst, i)
+	}
+	return dst, true
+}
+
+// Probe streams probe-side batches against a shared JoinTable. Each Probe
+// owns its scratch buffers (key encoding plus the two-sided gather index
+// lists), so one JoinTable feeds many concurrent Probe instances — one per
+// morsel worker — race-free. Matched rows are emitted as a bulk two-sided
+// gather (Vec.Take) instead of row-at-a-time appends.
+type Probe struct {
+	In       Operator
+	Table    *JoinTable
+	LeftKeys []int
+	Tel      *Telemetry
+
+	schema colfile.Schema
+	keyBuf []byte
+	lIdx   []int // probe-row gather indexes
+	rIdx   []int // build-row gather indexes; -1 pads outer-join misses
+}
+
+// Schema implements Operator.
+func (p *Probe) Schema() colfile.Schema {
+	if p.schema == nil {
+		l := p.In.Schema()
+		if p.Table.typ == SemiJoin {
+			p.schema = l
+		} else {
+			p.schema = append(append(colfile.Schema{}, l...), p.Table.build.Schema...)
+		}
+	}
+	return p.schema
+}
+
+// Next implements Operator.
+func (p *Probe) Next() (*colfile.Batch, error) {
+	for {
+		lb, err := p.In.Next()
+		if err != nil || lb == nil {
+			return nil, err
+		}
+		if p.Tel != nil {
+			p.Tel.RowsProcessed.Add(int64(lb.NumRows()))
+		}
+		if out := p.probeBatch(lb); out.NumRows() > 0 {
+			return out, nil
+		}
+	}
+}
+
+// probeBatch joins one probe batch against the shared table. Output row
+// order is fixed by probe-row order then build-row order, so results are
+// deterministic for any decomposition of the probe stream into batches.
+func (p *Probe) probeBatch(lb *colfile.Batch) *colfile.Batch {
+	jt := p.Table
+	p.lIdx, p.rIdx = p.lIdx[:0], p.rIdx[:0]
+	for i := 0; i < lb.NumRows(); i++ {
+		k, ok := appendRowKey(p.keyBuf[:0], lb, p.LeftKeys, i)
+		p.keyBuf = k[:0]
+		var matches []int
+		if ok {
+			matches = jt.lookup(k)
+		}
+		switch jt.typ {
+		case SemiJoin:
+			if len(matches) > 0 {
+				p.lIdx = append(p.lIdx, i)
+			}
+		case InnerJoin:
+			for _, m := range matches {
+				p.lIdx = append(p.lIdx, i)
+				p.rIdx = append(p.rIdx, m)
+			}
+		case LeftOuterJoin:
+			if len(matches) == 0 {
+				p.lIdx = append(p.lIdx, i)
+				p.rIdx = append(p.rIdx, -1)
+			} else {
+				for _, m := range matches {
+					p.lIdx = append(p.lIdx, i)
+					p.rIdx = append(p.rIdx, m)
+				}
+			}
+		}
+	}
+	schema := p.Schema()
+	out := &colfile.Batch{Schema: schema, Cols: make([]*colfile.Vec, len(schema))}
+	leftCols := len(lb.Cols)
+	for c := 0; c < leftCols; c++ {
+		out.Cols[c] = lb.Cols[c].Take(p.lIdx)
+	}
+	for c := leftCols; c < len(schema); c++ {
+		out.Cols[c] = jt.build.Cols[c-leftCols].Take(p.rIdx)
+	}
+	return out
+}
+
 // HashJoin is a build/probe equi-join. The right child is the build side.
 // With Parallelism > 1 the build side is hash-partitioned and the partition
-// tables are built concurrently; probe results are identical to the serial
-// build because each partition preserves build-row order.
+// tables are built concurrently. Next runs the probe serially over Left; the
+// SQL planner instead builds the JoinTable once (BuildHashJoin) and fans
+// per-morsel Probe operators out over the worker pool.
 type HashJoin struct {
 	Left, Right Operator
 	// LeftKeys and RightKeys are column indexes into each child's schema.
@@ -30,9 +247,7 @@ type HashJoin struct {
 	Parallelism         int
 	Tel                 *Telemetry
 
-	built  bool
-	parts  []map[string][]int // len is the build partition count
-	buildB *colfile.Batch
+	probe  *Probe
 	schema colfile.Schema
 }
 
@@ -49,173 +264,16 @@ func (j *HashJoin) Schema() colfile.Schema {
 	return j.schema
 }
 
-// buildParallelMinRows is the build-side size below which a partitioned
-// parallel build is not worth the fan-out overhead.
-const buildParallelMinRows = 4096
-
-func (j *HashJoin) build() error {
-	all, err := Collect(j.Right)
-	if err != nil {
-		return err
-	}
-	j.buildB = all
-	n := all.NumRows()
-	p := j.Parallelism
-	if p < 1 || n < buildParallelMinRows {
-		p = 1
-	}
-
-	// Pass 1: key extraction and partition bucketing, parallel over row
-	// ranges (NULL keys get no bucket and never match). Each range worker
-	// appends its row indices to per-(range, partition) buckets in row
-	// order, keeping total work O(n).
-	keys := make([]string, n)
-	buckets := make([][][]int, p) // [range][partition] -> row indices
-	chunk := (n + p - 1) / p
-	var wg sync.WaitGroup
-	for w := 0; w < p; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > n {
-			hi = n
-		}
-		buckets[w] = make([][]int, p)
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				k, ok := hashKeyAt(all, j.RightKeys, i)
-				if !ok {
-					continue
-				}
-				keys[i] = k
-				part := int(fnv32a(k) % uint32(p))
-				buckets[w][part] = append(buckets[w][part], i)
-			}
-		}(w, lo, hi)
-	}
-	wg.Wait()
-
-	// Pass 2: each worker owns one hash partition and inserts its buckets
-	// in range order — row order overall — so lookups see matches in the
-	// same order a serial build would produce.
-	j.parts = make([]map[string][]int, p)
-	for w := 0; w < p; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			part := make(map[string][]int)
-			for r := 0; r < p; r++ {
-				for _, i := range buckets[r][w] {
-					part[keys[i]] = append(part[keys[i]], i)
-				}
-			}
-			j.parts[w] = part
-		}(w)
-	}
-	wg.Wait()
-
-	if j.Tel != nil {
-		j.Tel.RowsProcessed.Add(int64(n))
-	}
-	j.built = true
-	return nil
-}
-
-// lookup finds the build rows matching a probe key.
-func (j *HashJoin) lookup(k string) []int {
-	return j.parts[fnv32a(k)%uint32(len(j.parts))][k]
-}
-
-// fnv32a is the FNV-1a hash used to assign keys to build partitions.
-func fnv32a(s string) uint32 {
-	h := uint32(2166136261)
-	for i := 0; i < len(s); i++ {
-		h ^= uint32(s[i])
-		h *= 16777619
-	}
-	return h
-}
-
 // Next implements Operator.
 func (j *HashJoin) Next() (*colfile.Batch, error) {
-	if !j.built {
-		if err := j.build(); err != nil {
+	if j.probe == nil {
+		jt, err := BuildHashJoin(j.Right, j.RightKeys, j.Type, j.Parallelism, j.Tel)
+		if err != nil {
 			return nil, err
 		}
+		j.probe = &Probe{In: j.Left, Table: jt, LeftKeys: j.LeftKeys, Tel: j.Tel}
 	}
-	for {
-		lb, err := j.Left.Next()
-		if err != nil || lb == nil {
-			return nil, err
-		}
-		if j.Tel != nil {
-			j.Tel.RowsProcessed.Add(int64(lb.NumRows()))
-		}
-		out := colfile.NewBatch(j.Schema())
-		for i := 0; i < lb.NumRows(); i++ {
-			k, ok := hashKeyAt(lb, j.LeftKeys, i)
-			var matches []int
-			if ok {
-				matches = j.lookup(k)
-			}
-			switch j.Type {
-			case SemiJoin:
-				if len(matches) > 0 {
-					appendJoined(out, lb, i, nil, -1, len(lb.Cols))
-				}
-			case InnerJoin:
-				for _, m := range matches {
-					appendJoined(out, lb, i, j.buildB, m, len(lb.Cols))
-				}
-			case LeftOuterJoin:
-				if len(matches) == 0 {
-					appendJoined(out, lb, i, nil, -1, len(lb.Cols))
-				} else {
-					for _, m := range matches {
-						appendJoined(out, lb, i, j.buildB, m, len(lb.Cols))
-					}
-				}
-			}
-		}
-		if out.NumRows() > 0 {
-			return out, nil
-		}
-	}
-}
-
-// hashKeyAt builds a string key for the given columns at row i; ok=false when
-// any key is NULL.
-func hashKeyAt(b *colfile.Batch, keys []int, i int) (string, bool) {
-	var sb strings.Builder
-	for _, c := range keys {
-		v := b.Cols[c]
-		if v.IsNull(i) {
-			return "", false
-		}
-		fmt.Fprintf(&sb, "%v\x00", v.Value(i))
-	}
-	return sb.String(), true
-}
-
-// appendJoined emits left row i concatenated with build row m (or NULLs for
-// the right side when m < 0 and the schema includes it).
-func appendJoined(out *colfile.Batch, lb *colfile.Batch, i int, rb *colfile.Batch, m, leftCols int) {
-	for c := 0; c < leftCols; c++ {
-		out.Cols[c].Append(lb.Cols[c], i)
-	}
-	if len(out.Cols) == leftCols {
-		return // semi join
-	}
-	for c := leftCols; c < len(out.Cols); c++ {
-		if m < 0 {
-			out.Cols[c].AppendNull()
-		} else {
-			out.Cols[c].Append(rb.Cols[c-leftCols], m)
-		}
-	}
+	return j.probe.Next()
 }
 
 // AggKind enumerates aggregate functions.
@@ -322,6 +380,7 @@ func (h *HashAgg) Next() (*colfile.Batch, error) {
 	h.done = true
 	groups := make(map[string]*aggState)
 	var order []string
+	var keyBuf []byte
 
 	for {
 		b, err := h.In.Next()
@@ -353,10 +412,11 @@ func (h *HashAgg) Next() (*colfile.Batch, error) {
 			}
 		}
 		for r := 0; r < b.NumRows(); r++ {
-			key, vals := groupKey(keyVecs, r)
-			st, ok := groups[key]
+			keyBuf = appendGroupKey(keyBuf[:0], keyVecs, r)
+			st, ok := groups[string(keyBuf)]
 			if !ok {
-				st = newAggState(vals, len(h.Aggs))
+				st = newAggState(groupVals(keyVecs, r), len(h.Aggs))
+				key := string(keyBuf)
 				groups[key] = st
 				order = append(order, key)
 			}
@@ -465,22 +525,27 @@ func (h *HashAgg) partialSumType(i int) colfile.DataType {
 	return h.Schema()[col].Type
 }
 
-// groupKey encodes row r's group-key values into a hash key plus the
-// materialized values (nil for NULL). Both aggregation phases — the partial
-// HashAgg workers and the final MergeAgg — go through this one encoding:
-// groups merge iff their keys are byte-identical.
-func groupKey(vecs []*colfile.Vec, r int) (string, []any) {
-	var kb strings.Builder
+// appendGroupKey encodes row r's group-key columns into dst with the typed,
+// self-delimiting Vec.AppendKey encoding (NULL is a distinct one-byte tag,
+// so a NULL group can never collide with any value). Both aggregation phases
+// — the partial HashAgg workers and the final MergeAgg — go through this one
+// encoding: groups merge iff their keys are byte-identical, and a bytewise
+// sort of keys orders numeric groups by value.
+func appendGroupKey(dst []byte, vecs []*colfile.Vec, r int) []byte {
+	for _, v := range vecs {
+		dst = v.AppendKey(dst, r)
+	}
+	return dst
+}
+
+// groupVals materializes row r's group-key values (nil for NULL) for result
+// rendering — called once per distinct group, not per row.
+func groupVals(vecs []*colfile.Vec, r int) []any {
 	vals := make([]any, len(vecs))
 	for i, v := range vecs {
-		if v.IsNull(r) {
-			kb.WriteString("\x01NULL\x00")
-		} else {
-			vals[i] = v.Value(r)
-			fmt.Fprintf(&kb, "%v\x00", vals[i])
-		}
+		vals[i] = v.Value(r)
 	}
-	return kb.String(), vals
+	return vals
 }
 
 func compareAny(a, b any) int {

@@ -8,6 +8,17 @@
 // the fabric grants), results are byte-stable for a given Parallelism
 // setting; across different settings, and against the serial executor,
 // float SUM/AVG may differ in the last ulp because summation order changes.
+//
+// Hash-join probes are morsel-parallel too, with a stronger determinism
+// contract: the JoinTable built from the build side is immutable and shared
+// by every probe worker, each worker probes its morsels in morsel order, and
+// within a morsel the output order is fixed by probe-row order then
+// build-row order (partitioned parallel builds insert rows in build-row
+// order, so match lists are identical to a serial build's). RunMorsels
+// returns per-morsel outputs in morsel order and BatchList concatenates them
+// in that order, so join results are byte-identical across every degree of
+// parallelism — joins carry none of the float-summation caveat because the
+// probe never reorders or recombines values.
 package exec
 
 import (
@@ -187,13 +198,21 @@ func (l *BatchList) Next() (*colfile.Batch, error) {
 
 // MergeAgg is the final stage of two-phase parallel aggregation: it consumes
 // the partial-state batches emitted by HashAgg{Partial: true} workers and
-// folds them into final aggregate values. Output rows are ordered by group
-// key, so the result is identical for every degree of parallelism.
+// folds them into final aggregate values. Output rows are ordered by encoded
+// group key, so the result is identical for every degree of parallelism.
 type MergeAgg struct {
 	In     Operator // stream of partial batches (groups + partial agg states)
 	Groups int      // number of leading group-key columns
 	Aggs   []AggSpec
-	Tel    *Telemetry
+	// MergeFree asserts that no group key appears in more than one partial
+	// input row: distribution-aware aggregation. When the GROUP BY key set
+	// covers the table's distribution column, cells are disjoint by d(r) and
+	// cell-aligned morsels make every per-morsel partial already complete
+	// for its groups, so the merge degenerates to finalizing each partial
+	// row directly — no hash table, no state folding. Output remains ordered
+	// by encoded group key, identical to the merging path's order.
+	MergeFree bool
+	Tel       *Telemetry
 
 	schema colfile.Schema
 	done   bool
@@ -240,7 +259,11 @@ func (m *MergeAgg) Next() (*colfile.Batch, error) {
 		return nil, nil
 	}
 	m.done = true
+	if m.MergeFree {
+		return m.concat()
+	}
 	groups := make(map[string]*aggState)
+	var keyBuf []byte
 	for {
 		b, err := m.In.Next()
 		if err != nil {
@@ -253,11 +276,11 @@ func (m *MergeAgg) Next() (*colfile.Batch, error) {
 			m.Tel.RowsProcessed.Add(int64(b.NumRows()))
 		}
 		for r := 0; r < b.NumRows(); r++ {
-			key, vals := groupKey(b.Cols[:m.Groups], r)
-			st, ok := groups[key]
+			keyBuf = appendGroupKey(keyBuf[:0], b.Cols[:m.Groups], r)
+			st, ok := groups[string(keyBuf)]
 			if !ok {
-				st = newAggState(vals, len(m.Aggs))
-				groups[key] = st
+				st = newAggState(groupVals(b.Cols[:m.Groups], r), len(m.Aggs))
+				groups[string(keyBuf)] = st
 			}
 			col := m.Groups
 			for i, a := range m.Aggs {
@@ -329,6 +352,81 @@ func (m *MergeAgg) Next() (*colfile.Batch, error) {
 		return nil, nil
 	}
 	return out, nil
+}
+
+// concat is the merge-free path: every partial input row is a complete group
+// (disjoint by d(r)), so each row is finalized directly and the rows are
+// ordered by encoded group key — the same output order the merging path
+// produces.
+func (m *MergeAgg) concat() (*colfile.Batch, error) {
+	type keyedRow struct {
+		key  string
+		vals []any
+	}
+	var rows []keyedRow
+	var keyBuf []byte
+	for {
+		b, err := m.In.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		if m.Tel != nil {
+			m.Tel.RowsProcessed.Add(int64(b.NumRows()))
+		}
+		for r := 0; r < b.NumRows(); r++ {
+			keyBuf = appendGroupKey(keyBuf[:0], b.Cols[:m.Groups], r)
+			vals := make([]any, 0, m.Groups+len(m.Aggs))
+			vals = append(vals, groupVals(b.Cols[:m.Groups], r)...)
+			col := m.Groups
+			for _, a := range m.Aggs {
+				vals = append(vals, finalizePartial(a.Kind, b, col, r))
+				col += partialWidth(a.Kind)
+			}
+			rows = append(rows, keyedRow{key: string(keyBuf), vals: vals})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].key < rows[j].key })
+	out := colfile.NewBatch(m.Schema())
+	for _, kr := range rows {
+		if err := out.AppendRow(kr.vals...); err != nil {
+			return nil, err
+		}
+	}
+	if out.NumRows() == 0 {
+		return nil, nil
+	}
+	return out, nil
+}
+
+// finalizePartial renders one aggregate's final value directly from its
+// partial-state columns at row r (value column at col; SUM/AVG carry a
+// non-NULL count at col+1).
+func finalizePartial(k AggKind, b *colfile.Batch, col, r int) any {
+	v := b.Cols[col]
+	switch k {
+	case AggCount, AggCountStar:
+		return v.Ints[r]
+	case AggSum:
+		if b.Cols[col+1].Ints[r] == 0 {
+			return nil
+		}
+		if v.Type == colfile.Float64 {
+			return v.Floats[r]
+		}
+		return v.Ints[r]
+	case AggAvg:
+		cnt := b.Cols[col+1].Ints[r]
+		if cnt == 0 {
+			return nil
+		}
+		return v.Floats[r] / float64(cnt)
+	case AggMin, AggMax:
+		return v.Value(r)
+	}
+	return nil
 }
 
 // newAggState builds an empty accumulator for nAggs aggregates.

@@ -351,14 +351,16 @@ func runSelect(tx *core.Txn, st *SelectStmt) (*colfile.Batch, error) {
 		hint = prunableRange(st.Where, meta, aliasOf(st.From))
 	}
 
-	// Single-table statements go through the morsel-driven parallel
-	// executor when the engine has a parallelism target — except bare
-	// LIMIT queries (no ORDER BY, no aggregation), where the serial
-	// streaming path stops scanning after N rows while the parallel path
-	// would materialize every morsel first.
+	// Statements go through the morsel-driven parallel executor when the
+	// engine has a parallelism target — joins included: the build sides are
+	// materialized into shared JoinTables once and the probe side fans out
+	// over the left table's morsels. The exception is bare LIMIT queries
+	// (no ORDER BY, no aggregation), where the serial streaming path stops
+	// scanning after N rows while the parallel path would materialize every
+	// morsel first.
 	bareLimit := st.Limit >= 0 && len(st.OrderBy) == 0 && !selectHasAgg(st)
-	if len(st.Joins) == 0 && tx.Parallelism() > 1 && !bareLimit {
-		b, handled, err := runSelectParallel(tx, st, hint)
+	if tx.Parallelism() > 1 && !bareLimit {
+		b, handled, err := runSelectParallel(tx, st, meta, hint)
 		if handled {
 			return b, err
 		}
@@ -372,26 +374,15 @@ func runSelect(tx *core.Txn, st *SelectStmt) (*colfile.Batch, error) {
 	// Joins: hash equi-joins extracted from the ON conjunction. The build
 	// side is partitioned and built in parallel per the engine's DOP.
 	for _, j := range st.Joins {
-		rop, rsc, err := scanTable(tx, j.Table, nil)
+		bj, jsc, err := bindJoin(tx, j, sc)
 		if err != nil {
 			return nil, err
-		}
-		lk, rk, err := equiKeys(j.On, sc, rsc)
-		if err != nil {
-			return nil, err
-		}
-		jt := exec.InnerJoin
-		if j.Left {
-			jt = exec.LeftOuterJoin
 		}
 		op = &exec.HashJoin{
-			Left: op, Right: rop, LeftKeys: lk, RightKeys: rk, Type: jt,
-			Parallelism: tx.Parallelism(),
+			Left: op, Right: bj.right, LeftKeys: bj.leftKeys, RightKeys: bj.rightKeys,
+			Type: bj.typ, Parallelism: tx.Parallelism(),
 		}
-		sc = &scope{
-			schema: append(append(colfile.Schema{}, sc.schema...), rsc.schema...),
-			quals:  append(append([]string{}, sc.quals...), rsc.quals...),
-		}
+		sc = jsc
 	}
 
 	if st.Where != nil {
@@ -446,24 +437,96 @@ func finishSelect(st *SelectStmt, outOp exec.Operator) (*colfile.Batch, error) {
 // load-balances across workers with uneven morsel costs.
 const morselsPerWorker = 4
 
-// runSelectParallel executes a single-table SELECT on the morsel-driven
-// parallel executor: the scan is split into morsels, a worker pool sized by
-// the fabric's slot lease runs scan→filter→project (or scan→filter→partial
-// aggregation) per morsel, and a deterministic merge — ordered concatenation
-// for projections, key-ordered MergeAgg for aggregates — combines the
-// per-morsel outputs. When concurrent queries hold the fabric's slots the
-// lease degrades the worker count (possibly to 1) but the plan shape — and
-// therefore the output order — stays the same for a given Parallelism
-// config. Returns handled=false only for an empty table, which falls back
-// to the serial path.
-func runSelectParallel(tx *core.Txn, st *SelectStmt, hint *exec.PruneHint) (*colfile.Batch, bool, error) {
+// boundJoin is one join clause's planning product: the build-side operator,
+// the resolved key columns and the join type. The serial path wraps it in a
+// lazy HashJoin; the parallel path builds the JoinTable eagerly and fans
+// Probe operators out per morsel. Both paths share this binding so their
+// join semantics cannot drift apart.
+type boundJoin struct {
+	right               exec.Operator
+	leftKeys, rightKeys []int
+	typ                 exec.JoinType
+}
+
+// bindJoin opens the join's right table, resolves the equi-join keys against
+// the current scope, and returns the binding plus the joined output scope.
+func bindJoin(tx *core.Txn, j JoinClause, sc *scope) (*boundJoin, *scope, error) {
+	rop, rsc, err := scanTable(tx, j.Table, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	lk, rk, err := equiKeys(j.On, sc, rsc)
+	if err != nil {
+		return nil, nil, err
+	}
+	typ := exec.InnerJoin
+	if j.Left {
+		typ = exec.LeftOuterJoin
+	}
+	joined := &scope{
+		schema: append(append(colfile.Schema{}, sc.schema...), rsc.schema...),
+		quals:  append(append([]string{}, sc.quals...), rsc.quals...),
+	}
+	return &boundJoin{right: rop, leftKeys: lk, rightKeys: rk, typ: typ}, joined, nil
+}
+
+// groupByCoversDistCol reports whether a GROUP BY item names the table's
+// distribution column (unqualified or qualified with the table alias). When
+// it does, every group lives entirely inside one distribution cell — rows
+// sharing a distribution-column value (NULLs included) are assigned to one
+// cell by d(r) — so cell-aligned per-morsel partials need no merge.
+func groupByCoversDistCol(st *SelectStmt, distCol, alias string) bool {
+	if distCol == "" {
+		return false
+	}
+	for _, g := range st.GroupBy {
+		c, ok := g.(ColName)
+		if !ok {
+			continue
+		}
+		if strings.EqualFold(c.Name, distCol) && (c.Table == "" || strings.EqualFold(c.Table, alias)) {
+			return true
+		}
+	}
+	return false
+}
+
+// runSelectParallel executes a SELECT on the morsel-driven parallel
+// executor: the left (probe-side) scan is split into morsels, a worker pool
+// sized by the fabric's slot lease runs scan→[probe…]→filter→project (or
+// →partial aggregation) per morsel, and a deterministic merge — ordered
+// concatenation for projections and joins, key-ordered MergeAgg for
+// aggregates — combines the per-morsel outputs. Join build sides are
+// materialized once into immutable JoinTables shared by every probe worker.
+// When the GROUP BY key set covers the table's distribution column, morsels
+// are cell-aligned and the merge degenerates to concatenation (merge-free
+// distribution-aware aggregation, counted in WorkStats.MergeFreeAggs).
+// When concurrent queries hold the fabric's slots the lease degrades the
+// worker count (possibly to 1) but the plan shape — and therefore the
+// output order — stays the same for a given Parallelism config. Returns
+// handled=false only for an empty table, which falls back to the serial
+// path.
+func runSelectParallel(tx *core.Txn, st *SelectStmt, meta catalog.TableMeta, hint *exec.PruneHint) (*colfile.Batch, bool, error) {
 	dop, release := tx.LeaseDOP(tx.Parallelism())
 	defer release()
+	alias := aliasOf(st.From)
+	// Distribution-aware aggregation: cell-aligned morsels make per-morsel
+	// partials complete, so MergeAgg can skip the merge. The cell split is
+	// DOP-independent, so results stay identical at every parallelism.
+	mergeFree := len(st.Joins) == 0 && len(st.GroupBy) > 0 && selectHasAgg(st) &&
+		groupByCoversDistCol(st, meta.DistributionCol, alias)
+
 	// The morsel split is sized from the CONFIGURED parallelism, not the
 	// granted one: the lease only caps live workers, so the decomposition —
 	// and with it float-aggregation order — cannot shift under slot
 	// contention.
-	ms, err := tx.ScanMorsels(st.From.Name, st.From.AsOfSeq, tx.Parallelism()*morselsPerWorker)
+	var ms *core.MorselScan
+	var err error
+	if mergeFree {
+		ms, err = tx.ScanCellMorsels(st.From.Name, st.From.AsOfSeq)
+	} else {
+		ms, err = tx.ScanMorsels(st.From.Name, st.From.AsOfSeq, tx.Parallelism()*morselsPerWorker)
+	}
 	if err != nil {
 		return nil, true, err
 	}
@@ -471,12 +534,32 @@ func runSelectParallel(tx *core.Txn, st *SelectStmt, hint *exec.PruneHint) (*col
 		return nil, false, nil // empty table: serial path supplies the schema
 	}
 
-	alias := aliasOf(st.From)
 	quals := make([]string, len(ms.Schema))
 	for i := range quals {
 		quals[i] = alias
 	}
 	sc := &scope{schema: ms.Schema, quals: quals}
+
+	// Joins: build each right side once into an immutable JoinTable (the
+	// build itself is partition-parallel), extending the scope as the serial
+	// planner would. Per-morsel Probe operators share the tables.
+	type probeStage struct {
+		table    *exec.JoinTable
+		leftKeys []int
+	}
+	var stages []probeStage
+	for _, j := range st.Joins {
+		bj, jsc, err := bindJoin(tx, j, sc)
+		if err != nil {
+			return nil, true, err
+		}
+		table, err := exec.BuildHashJoin(bj.right, bj.rightKeys, bj.typ, tx.Parallelism(), ms.Tel)
+		if err != nil {
+			return nil, true, err
+		}
+		stages = append(stages, probeStage{table: table, leftKeys: bj.leftKeys})
+		sc = jsc
+	}
 
 	var pred exec.Expr
 	if st.Where != nil {
@@ -486,8 +569,9 @@ func runSelectParallel(tx *core.Txn, st *SelectStmt, hint *exec.PruneHint) (*col
 		}
 	}
 	// fragment builds the per-worker plan prefix over one morsel. Bound
-	// expressions are stateless values, safe to share across workers; the
-	// telemetry sink is atomic.
+	// expressions and JoinTables are stateless/immutable values, safe to
+	// share across workers; each Probe instance owns its scratch buffers;
+	// the telemetry sink is atomic.
 	fragment := func(m exec.Morsel) (exec.Operator, error) {
 		var op exec.Operator
 		s, err := exec.NewMorselScan(m, nil, hint, ms.Tel)
@@ -498,14 +582,18 @@ func runSelectParallel(tx *core.Txn, st *SelectStmt, hint *exec.PruneHint) (*col
 			return nil, err
 		}
 		op = s
+		for _, ps := range stages {
+			op = &exec.Probe{In: op, Table: ps.table, LeftKeys: ps.leftKeys, Tel: ms.Tel}
+		}
 		if pred != nil {
 			op = &exec.Filter{In: op, Pred: pred, Tel: ms.Tel}
 		}
 		return op, nil
 	}
-	// schemaSource stands in for the scan when instantiating prototype
-	// operators whose Schema() needs an input schema.
-	schemaSource := func() exec.Operator { return exec.NewBatchSource(colfile.NewBatch(ms.Schema)) }
+	// schemaSource stands in for the plan prefix when instantiating
+	// prototype operators whose Schema() needs an input schema (sc.schema
+	// is the post-join schema).
+	schemaSource := func() exec.Operator { return exec.NewBatchSource(colfile.NewBatch(sc.schema)) }
 
 	var outOp exec.Operator
 	if selectHasAgg(st) {
@@ -523,10 +611,13 @@ func runSelectParallel(tx *core.Txn, st *SelectStmt, hint *exec.PruneHint) (*col
 		if err != nil {
 			return nil, true, err
 		}
+		if mergeFree {
+			tx.Work().MergeFreeAggs.Add(1)
+		}
 		partialProto := &exec.HashAgg{In: schemaSource(), GroupBy: ap.groupBy, Aggs: ap.aggs, Partial: true}
 		outOp = &exec.MergeAgg{
 			In:     exec.NewBatchList(partialProto.Schema(), batches),
-			Groups: len(ap.groupBy), Aggs: ap.aggs, Tel: ms.Tel,
+			Groups: len(ap.groupBy), Aggs: ap.aggs, MergeFree: mergeFree, Tel: ms.Tel,
 		}
 		if ap.having != nil {
 			outOp = &exec.Filter{In: outOp, Pred: ap.having}
