@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build lint test race bench-smoke bench-json ci
+.PHONY: build lint test race bench-smoke bench-json docs ci
 
 build:
 	$(GO) build ./...
@@ -25,17 +25,28 @@ test:
 race:
 	$(GO) test -race -short . ./internal/exec/...
 
-# One iteration of the parallel scan and join benchmarks: catches bit-rot in
-# the benchmark harness (and the cross-DOP identity checks inside them)
-# without paying for a full measurement run.
+# One iteration of every parallel-executor benchmark (scan, join, sort,
+# top-N): catches bit-rot in the benchmark harness (and the cross-DOP
+# identity checks inside them) without paying for a full measurement run.
 bench-smoke:
-	$(GO) test -run NONE -bench 'BenchmarkParallelScan|BenchmarkParallelJoin' -benchtime 1x .
+	$(GO) test -run NONE -bench 'BenchmarkParallel' -benchtime 1x .
 
 # Full micro-benchmark measurement written as machine-readable JSON: the
-# per-PR perf trajectory (ns/op + allocs/op for ParallelScan/ParallelJoin at
-# DOP 1/4/8 plus the fmt-vs-typed key-encoding baseline). CI uploads the
-# file as a workflow artifact.
+# per-PR perf trajectory (ns/op + allocs/op for ParallelScan/ParallelJoin/
+# ParallelSort/ParallelTopN at DOP 1/4/8 plus the fmt-vs-typed key-encoding
+# baseline). CI uploads the file as a workflow artifact next to the previous
+# PR's snapshot so the trajectory is diffable per commit.
 bench-json:
-	$(GO) run ./cmd/benchrunner -json BENCH_PR2.json
+	$(GO) run ./cmd/benchrunner -json BENCH_PR3.json
 
-ci: build lint test race bench-smoke
+# Documentation gate: every relative markdown link in the doc set must
+# resolve, and the package docs for the public API and the executor must
+# render (catches syntax-level doc rot).
+docs:
+	$(GO) run ./cmd/doccheck README.md ROADMAP.md CHANGES.md PAPER.md docs/ARCHITECTURE.md
+	@$(GO) doc . >/dev/null
+	@$(GO) doc ./internal/exec >/dev/null
+	@$(GO) doc ./internal/colfile >/dev/null
+	@echo "docs OK"
+
+ci: build lint test race bench-smoke docs

@@ -9,7 +9,7 @@
 //	benchrunner -fig 9               # one figure
 //	benchrunner -scale 1.0           # bigger workloads, sharper curves
 //	benchrunner -ablations           # the ablation suite
-//	benchrunner -json BENCH_PR2.json # wall-clock micro-bench suite → JSON
+//	benchrunner -json BENCH_PR3.json # wall-clock micro-bench suite → JSON
 package main
 
 import (
@@ -89,11 +89,13 @@ type microReport struct {
 	Results    []microResult `json:"results"`
 }
 
-// runMicroJSON measures the parallel scan and join micro-benchmarks at DOP
-// 1/4/8 plus the fmt-vs-typed key-encoding baseline, and writes the results
-// as JSON. The key-encoding pair is the measured evidence for the PR2
-// typed-key claim: "fmt" is the legacy per-row boxed encoding kept only as a
-// baseline, "typed" is what the executor now runs.
+// runMicroJSON measures the parallel scan, join, full-sort and top-N
+// micro-benchmarks at DOP 1/4/8 plus the fmt-vs-typed key-encoding baseline,
+// and writes the results as JSON. The key-encoding pair is the measured
+// evidence for the PR2 typed-key claim: "fmt" is the legacy per-row boxed
+// encoding kept only as a baseline, "typed" is what the executor now runs;
+// the sort/top-N pair (PR3) measures what the LIMIT pushdown saves over a
+// full parallel sort.
 func runMicroJSON(path string) error {
 	files, _, err := bench.MicroFiles()
 	if err != nil {
@@ -140,6 +142,30 @@ func runMicroJSON(path string) error {
 			}
 		})
 		record("ParallelJoin", dop, r)
+	}
+	for _, dop := range []int{1, 4, 8} {
+		dop := dop
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.ParallelSort(files, dop); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		record("ParallelSort", dop, r)
+	}
+	for _, dop := range []int{1, 4, 8} {
+		dop := dop
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.ParallelTopN(files, dop); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		record("ParallelTopN", dop, r)
 	}
 
 	batch := bench.KeyEncodeBatch(1 << 14)

@@ -1,0 +1,77 @@
+// Command doccheck is the markdown half of `make docs`: it scans the given
+// markdown files for inline links and verifies that every relative link
+// target exists on disk, so README/ROADMAP/docs cross-references cannot rot
+// silently. External links (with a URL scheme) and same-file #anchors are
+// accepted without network access; a missing file is a hard failure.
+//
+// Usage:
+//
+//	doccheck README.md docs/ARCHITECTURE.md ...
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links [text](target). Images (![alt](...))
+// match too, which is what we want: a broken diagram is still a broken link.
+var linkRe = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)[^)]*\)`)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck FILE.md ...")
+		os.Exit(2)
+	}
+	broken := 0
+	for _, file := range os.Args[1:] {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			broken++
+			continue
+		}
+		checked := 0
+		for _, m := range linkRe.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if !isRelative(target) {
+				continue
+			}
+			checked++
+			if path, ok := resolve(file, target); !ok {
+				fmt.Fprintf(os.Stderr, "doccheck: %s: broken link %q (no file %s)\n", file, target, path)
+				broken++
+			}
+		}
+		fmt.Printf("doccheck: %s: %d relative links checked\n", file, checked)
+	}
+	if broken > 0 {
+		os.Exit(1)
+	}
+}
+
+// isRelative reports whether target is a checkable on-disk reference:
+// no URL scheme, not a pure same-file anchor.
+func isRelative(target string) bool {
+	if strings.HasPrefix(target, "#") {
+		return false
+	}
+	if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+		return false
+	}
+	return true
+}
+
+// resolve maps a link target to a path relative to the linking file's
+// directory (dropping any #fragment) and reports whether it exists.
+func resolve(from, target string) (string, bool) {
+	if i := strings.IndexByte(target, '#'); i >= 0 {
+		target = target[:i]
+	}
+	path := filepath.Join(filepath.Dir(from), target)
+	_, err := os.Stat(path)
+	return path, err == nil
+}

@@ -96,6 +96,70 @@ func ParallelScanAggregate(files []exec.ScanFile, dop int) (*colfile.Batch, erro
 	return exec.Collect(merge)
 }
 
+// sortKeys is the ORDER BY of the sort micro-benchmarks: val DESC (only 997
+// distinct values over 1M rows, so ties are plentiful and the stable-by-
+// morsel-order rule is on the hot path), then grp ascending.
+func sortKeys() []exec.SortKey {
+	return []exec.SortKey{{Col: 1, Desc: true}, {Col: 0}}
+}
+
+// ParallelSort runs the full-sort micro-benchmark at the given DOP: each
+// morsel worker sorts its share of the 1M-row dataset into a run (SortRuns),
+// and a loser-tree k-way merge (MergeRuns) combines the runs. Output is
+// byte-identical at every DOP.
+func ParallelSort(files []exec.ScanFile, dop int) (*colfile.Batch, error) {
+	keys := sortKeys()
+	morsels, err := exec.SplitMorsels(files, dop*4)
+	if err != nil {
+		return nil, err
+	}
+	batches, err := exec.RunMorsels(morsels, dop, func(m exec.Morsel) (exec.Operator, error) {
+		s, err := exec.NewMorselScan(m, nil, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		return &exec.SortRuns{In: s, Keys: keys}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	r, err := colfile.OpenReader(files[0].Data)
+	if err != nil {
+		return nil, err
+	}
+	return exec.Collect(exec.NewMergeRuns(r.Schema(), batches, keys, -1))
+}
+
+// ParallelTopNRows is the bound of the top-N micro-benchmark: the ORDER BY
+// ... LIMIT shape where each worker ships at most this many rows.
+const ParallelTopNRows = 100
+
+// ParallelTopN runs the top-N pushdown micro-benchmark at the given DOP:
+// per-morsel bounded TopN operators (each shipping at most ParallelTopNRows
+// rows) merged with early cutoff — the distributed ORDER BY ... LIMIT plan.
+func ParallelTopN(files []exec.ScanFile, dop int) (*colfile.Batch, error) {
+	keys := sortKeys()
+	morsels, err := exec.SplitMorsels(files, dop*4)
+	if err != nil {
+		return nil, err
+	}
+	batches, err := exec.RunMorsels(morsels, dop, func(m exec.Morsel) (exec.Operator, error) {
+		s, err := exec.NewMorselScan(m, nil, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		return &exec.TopN{In: s, Keys: keys, N: ParallelTopNRows}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	r, err := colfile.OpenReader(files[0].Data)
+	if err != nil {
+		return nil, err
+	}
+	return exec.Collect(exec.NewMergeRuns(r.Schema(), batches, keys, ParallelTopNRows))
+}
+
 // joinBuild lazily builds the join micro-benchmark's shared build side:
 // 64Ki rows keyed 0..2^14, i.e. 4 matches per key.
 var joinBuild struct {

@@ -31,6 +31,7 @@ const (
 	Bool
 )
 
+// String renders the type name for error messages and plan display.
 func (t DataType) String() string {
 	switch t {
 	case Int64:
@@ -211,6 +212,48 @@ func (v *Vec) AppendKey(dst []byte, i int) []byte {
 		return append(dst, keyValue, 0)
 	}
 	return append(dst, keyNull)
+}
+
+// AppendSortKey appends an order-preserving binary encoding of position i to
+// dst and returns the extended slice: bytewise comparison of two encoded keys
+// equals the engine's ORDER BY comparison of the underlying values. It is the
+// sort-order counterpart of AppendKey and reuses AppendKey's typed transforms
+// wherever they already preserve order (Int64 sign-flip, Float64 total-order
+// transform, Bool, and the NULL tag, which sorts NULLs first). Strings differ:
+// AppendKey's length prefix breaks lexicographic byte order ("b" < "ab" after
+// encoding), so the sort key instead escapes embedded 0x00 bytes (0x00 →
+// 0x00 0xFF) and closes with a 0x00 0x00 terminator, keeping the encoding
+// both order-preserving and self-delimiting across columns.
+//
+// With desc the bytes are appended complemented, which reverses their
+// comparison order: DESC keys sort descending — and NULLs last — under the
+// same ascending bytewise compare, so multi-column keys with mixed
+// directions still reduce to one memcmp.
+func (v *Vec) AppendSortKey(dst []byte, i int, desc bool) []byte {
+	start := len(dst)
+	switch {
+	case v.IsNull(i):
+		dst = append(dst, keyNull)
+	case v.Type == String:
+		s := v.Strs[i]
+		dst = append(dst, keyValue)
+		for j := 0; j < len(s); j++ {
+			if s[j] == 0x00 {
+				dst = append(dst, 0x00, 0xFF)
+			} else {
+				dst = append(dst, s[j])
+			}
+		}
+		dst = append(dst, 0x00, 0x00)
+	default:
+		dst = v.AppendKey(dst, i)
+	}
+	if desc {
+		for j := start; j < len(dst); j++ {
+			dst[j] = ^dst[j]
+		}
+	}
+	return dst
 }
 
 // Append appends position i of src (which must have the same type).

@@ -546,3 +546,73 @@ func TestAppendKeyDistinguishesTypesAndNulls(t *testing.T) {
 		t.Fatal("NULL bool collides with false")
 	}
 }
+
+// TestAppendSortKeyOrderPreserving pins the ORDER BY key encoding: bytewise
+// comparison of encoded keys must equal value comparison for every type,
+// ascending and descending, with NULLs first ascending / last descending.
+// Strings are the case AppendKey cannot serve (its length prefix sorts "ab"
+// after "b"); the sort key's escaped terminator encoding must not.
+func TestAppendSortKeyOrderPreserving(t *testing.T) {
+	enc := func(v *Vec, i int, desc bool) string {
+		return string(v.AppendSortKey(nil, i, desc))
+	}
+	// Ascending-ordered probe values per type, NULL first (the engine's
+	// ascending order). Index order == expected encoded order.
+	sv := NewVec(String)
+	sv.AppendNull()
+	sv.AppendStr("")
+	sv.AppendStr("a")
+	sv.AppendStr("a\x00")
+	sv.AppendStr("a\x00b")
+	sv.AppendStr("ab")
+	sv.AppendStr("b")
+	iv := NewVec(Int64)
+	iv.AppendNull()
+	iv.AppendInt(-1 << 62)
+	iv.AppendInt(-1)
+	iv.AppendInt(0)
+	iv.AppendInt(1)
+	iv.AppendInt(1 << 62)
+	fv := NewVec(Float64)
+	fv.AppendNull()
+	fv.AppendFloat(-1e300)
+	fv.AppendFloat(-0.5)
+	fv.AppendFloat(0)
+	fv.AppendFloat(2.25)
+	bv := NewVec(Bool)
+	bv.AppendNull()
+	bv.AppendBool(false)
+	bv.AppendBool(true)
+
+	for _, v := range []*Vec{sv, iv, fv, bv} {
+		for i := 0; i+1 < v.Len(); i++ {
+			if !(enc(v, i, false) < enc(v, i+1, false)) {
+				t.Fatalf("%s asc: position %d not below %d (%v vs %v)", v.Type, i, i+1, v.Value(i), v.Value(i+1))
+			}
+			if !(enc(v, i, true) > enc(v, i+1, true)) {
+				t.Fatalf("%s desc: position %d not above %d (%v vs %v)", v.Type, i, i+1, v.Value(i), v.Value(i+1))
+			}
+		}
+		// Equal values must encode equal both directions (stability ties).
+		for i := 0; i < v.Len(); i++ {
+			if enc(v, i, false) != enc(v, i, false) || enc(v, i, true) != enc(v, i, true) {
+				t.Fatalf("%s: self-compare not equal at %d", v.Type, i)
+			}
+		}
+	}
+
+	// Self-delimiting across columns: (a, b) vs (ab, ...) must order by the
+	// first column alone, desc included.
+	pair := func(a, b string, desc bool) string {
+		v := NewVec(String)
+		v.AppendStr(a)
+		v.AppendStr(b)
+		return string(v.AppendSortKey(v.AppendSortKey(nil, 0, desc), 1, desc))
+	}
+	if !(pair("a", "zzz", false) < pair("ab", "", false)) {
+		t.Fatal("asc multi-column string keys not ordered by first column")
+	}
+	if !(pair("a", "zzz", true) > pair("ab", "", true)) {
+		t.Fatal("desc multi-column string keys not ordered by first column")
+	}
+}

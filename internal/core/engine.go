@@ -129,6 +129,11 @@ type WorkStats struct {
 	// partials are disjoint by d(r) and the merge phase is skipped). Plan
 	// choice is deterministic, so tests assert on this counter.
 	MergeFreeAggs atomic.Int64
+	// TopNPushdowns counts ORDER BY ... LIMIT plans that pushed a bounded
+	// top-N into the morsel workers (each worker ships at most LIMIT+OFFSET
+	// rows; the FE k-way merge cuts off early). Like MergeFreeAggs, the plan
+	// choice is deterministic, so tests assert on this counter.
+	TopNPushdowns atomic.Int64
 }
 
 // Snapshot returns a plain-values copy of the counters.

@@ -44,6 +44,7 @@ func (c ColRef) Eval(b *colfile.Batch) (*colfile.Vec, error) {
 	return b.Cols[c.Idx], nil
 }
 
+// String implements Expr.
 func (c ColRef) String() string {
 	if c.Name != "" {
 		return c.Name
@@ -97,6 +98,7 @@ func normalize(x any) any {
 	return x
 }
 
+// String implements Expr.
 func (c Const) String() string {
 	if s, ok := c.Val.(string); ok {
 		return "'" + s + "'"
@@ -207,6 +209,7 @@ func (e Bin) Eval(b *colfile.Batch) (*colfile.Vec, error) {
 	return out, nil
 }
 
+// String implements Expr.
 func (e Bin) String() string {
 	return fmt.Sprintf("(%s %s %s)", e.L, binNames[e.Kind], e.R)
 }
@@ -367,6 +370,7 @@ func (n Not) Eval(b *colfile.Batch) (*colfile.Vec, error) {
 	return out, nil
 }
 
+// String implements Expr.
 func (n Not) String() string { return fmt.Sprintf("NOT %s", n.E) }
 
 // IsNull tests for NULL.
@@ -391,6 +395,7 @@ func (e IsNull) Eval(b *colfile.Batch) (*colfile.Vec, error) {
 	return out, nil
 }
 
+// String implements Expr.
 func (e IsNull) String() string {
 	if e.Negate {
 		return fmt.Sprintf("%s IS NOT NULL", e.E)
@@ -427,6 +432,7 @@ func (e Like) Eval(b *colfile.Batch) (*colfile.Vec, error) {
 	return out, nil
 }
 
+// String implements Expr.
 func (e Like) String() string { return fmt.Sprintf("%s LIKE '%s'", e.E, e.Pattern) }
 
 // likeMatch supports % (any run) and _ (any single char).
@@ -485,6 +491,7 @@ func (e InList) Eval(b *colfile.Batch) (*colfile.Vec, error) {
 	return out, nil
 }
 
+// String implements Expr.
 func (e InList) String() string {
 	op := "IN"
 	if e.Negate {

@@ -2,7 +2,6 @@ package exec
 
 import (
 	"fmt"
-	"sort"
 	"sync/atomic"
 
 	"polaris/internal/colfile"
@@ -428,97 +427,5 @@ func Collect(op Operator) (*colfile.Batch, error) {
 	}
 }
 
-// Sort materializes the input and emits it ordered by the given keys.
-type Sort struct {
-	In   Operator
-	Keys []SortKey
-	Tel  *Telemetry
-
-	out  *colfile.Batch
-	done bool
-}
-
-// SortKey orders by a column index.
-type SortKey struct {
-	Col  int
-	Desc bool
-}
-
-// Schema implements Operator.
-func (s *Sort) Schema() colfile.Schema { return s.In.Schema() }
-
-// Next implements Operator.
-func (s *Sort) Next() (*colfile.Batch, error) {
-	if s.done {
-		return nil, nil
-	}
-	all, err := Collect(s.In)
-	if err != nil {
-		return nil, err
-	}
-	s.done = true
-	n := all.NumRows()
-	if n == 0 {
-		return nil, nil
-	}
-	if s.Tel != nil {
-		s.Tel.RowsProcessed.Add(int64(n))
-	}
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.SliceStable(idx, func(a, b int) bool {
-		ia, ib := idx[a], idx[b]
-		for _, k := range s.Keys {
-			c := all.Cols[k.Col]
-			cmp := compareVecRows(c, ia, ib)
-			if cmp == 0 {
-				continue
-			}
-			if k.Desc {
-				return cmp > 0
-			}
-			return cmp < 0
-		}
-		return false
-	})
-	out := colfile.NewBatch(all.Schema)
-	for _, i := range idx {
-		for c := range out.Cols {
-			out.Cols[c].Append(all.Cols[c], i)
-		}
-	}
-	return out, nil
-}
-
-// compareVecRows orders NULLs first, then by value.
-func compareVecRows(v *colfile.Vec, a, b int) int {
-	an, bn := v.IsNull(a), v.IsNull(b)
-	switch {
-	case an && bn:
-		return 0
-	case an:
-		return -1
-	case bn:
-		return 1
-	}
-	switch v.Type {
-	case colfile.Int64:
-		return cmpOrd(v.Ints[a], v.Ints[b])
-	case colfile.Float64:
-		return cmpOrd(v.Floats[a], v.Floats[b])
-	case colfile.String:
-		switch {
-		case v.Strs[a] < v.Strs[b]:
-			return -1
-		case v.Strs[a] > v.Strs[b]:
-			return 1
-		default:
-			return 0
-		}
-	case colfile.Bool:
-		return cmpOrd(b2i(v.Bools[a]), b2i(v.Bools[b]))
-	}
-	return 0
-}
+// Sort, SortRuns, TopN and MergeRuns — the ORDER BY operator family — live
+// in sort.go.

@@ -19,6 +19,18 @@
 // in that order, so join results are byte-identical across every degree of
 // parallelism — joins carry none of the float-summation caveat because the
 // probe never reorders or recombines values.
+//
+// ORDER BY is morsel-parallel as well (sort.go): workers stable-sort their
+// morsels into runs (SortRuns) — or keep only the LIMIT+OFFSET smallest rows
+// (TopN) — and a loser-tree k-way merge (MergeRuns) combines the runs,
+// breaking ties by lowest morsel index. Stable runs plus that tie-break
+// reproduce a serial stable sort byte-for-byte at every DOP: NULLs first
+// ascending / last descending, DESC keys, and ties by input order.
+//
+// The full cross-DOP determinism contract — what is byte-identical, what is
+// merely deterministic per Parallelism setting, and the float caveats — is
+// specified normatively in docs/ARCHITECTURE.md; this comment and that file
+// must be kept in sync.
 package exec
 
 import (

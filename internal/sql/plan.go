@@ -352,12 +352,13 @@ func runSelect(tx *core.Txn, st *SelectStmt) (*colfile.Batch, error) {
 	}
 
 	// Statements go through the morsel-driven parallel executor when the
-	// engine has a parallelism target — joins included: the build sides are
-	// materialized into shared JoinTables once and the probe side fans out
-	// over the left table's morsels. The exception is bare LIMIT queries
-	// (no ORDER BY, no aggregation), where the serial streaming path stops
-	// scanning after N rows while the parallel path would materialize every
-	// morsel first.
+	// engine has a parallelism target — joins and ORDER BY included: build
+	// sides are materialized into shared JoinTables once, the probe side
+	// fans out over the left table's morsels, and ORDER BY sorts per-morsel
+	// runs that a k-way merge combines (with top-N pushdown under LIMIT).
+	// The exception is bare LIMIT queries (no ORDER BY, no aggregation),
+	// where the serial streaming path stops scanning after N rows while the
+	// parallel path would materialize every morsel first.
 	bareLimit := st.Limit >= 0 && len(st.OrderBy) == 0 && !selectHasAgg(st)
 	if tx.Parallelism() > 1 && !bareLimit {
 		b, handled, err := runSelectParallel(tx, st, meta, hint)
@@ -494,10 +495,11 @@ func groupByCoversDistCol(st *SelectStmt, distCol, alias string) bool {
 // runSelectParallel executes a SELECT on the morsel-driven parallel
 // executor: the left (probe-side) scan is split into morsels, a worker pool
 // sized by the fabric's slot lease runs scan→[probe…]→filter→project (or
-// →partial aggregation) per morsel, and a deterministic merge — ordered
-// concatenation for projections and joins, key-ordered MergeAgg for
-// aggregates — combines the per-morsel outputs. Join build sides are
-// materialized once into immutable JoinTables shared by every probe worker.
+// →partial aggregation, or →sorted run) per morsel, and a deterministic
+// merge — ordered concatenation for projections and joins, key-ordered
+// MergeAgg for aggregates, loser-tree MergeRuns for ORDER BY — combines the
+// per-morsel outputs. Join build sides are materialized once into immutable
+// JoinTables shared by every probe worker.
 // When the GROUP BY key set covers the table's distribution column, morsels
 // are cell-aligned and the merge degenerates to concatenation (merge-free
 // distribution-aware aggregation, counted in WorkStats.MergeFreeAggs).
@@ -597,6 +599,9 @@ func runSelectParallel(tx *core.Txn, st *SelectStmt, meta catalog.TableMeta, hin
 
 	var outOp exec.Operator
 	if selectHasAgg(st) {
+		// ORDER BY over an aggregate stays on the serial Sort: the merged
+		// aggregate is already materialized on the FE, one group per row, so
+		// there is nothing left to fan out.
 		ap, err := buildAggPlan(st, sc)
 		if err != nil {
 			return nil, true, err
@@ -628,6 +633,11 @@ func runSelectParallel(tx *core.Txn, st *SelectStmt, meta catalog.TableMeta, hin
 		if err != nil {
 			return nil, true, err
 		}
+		proto := &exec.Project{In: schemaSource(), Exprs: exprs, Names: names}
+		if len(st.OrderBy) > 0 {
+			b, err := runParallelOrderBy(tx, st, ms, dop, fragment, exprs, names, proto.Schema())
+			return b, true, err
+		}
 		batches, err := exec.RunMorsels(ms.Morsels, dop, func(m exec.Morsel) (exec.Operator, error) {
 			op, err := fragment(m)
 			if err != nil {
@@ -638,12 +648,56 @@ func runSelectParallel(tx *core.Txn, st *SelectStmt, meta catalog.TableMeta, hin
 		if err != nil {
 			return nil, true, err
 		}
-		proto := &exec.Project{In: schemaSource(), Exprs: exprs, Names: names}
 		outOp = exec.NewBatchList(proto.Schema(), batches)
 	}
 
 	b, err := finishSelect(st, outOp)
 	return b, true, err
+}
+
+// runParallelOrderBy executes a projection's ORDER BY [LIMIT/OFFSET] on the
+// morsel executor instead of a monolithic FE sort: every worker sorts its
+// morsel's projected rows into a tie-stable run (SortRuns), and the FE k-way
+// merges the runs over a loser tree with the lowest morsel index winning
+// ties — byte-identical to the serial stable sort at every DOP, NULL
+// ordering and DESC keys included. When a LIMIT bounds the output, each
+// worker instead keeps only its LIMIT+OFFSET smallest rows (TopN pushdown,
+// the paper's distributed top-N shape, counted in WorkStats.TopNPushdowns)
+// and the merge cuts off after LIMIT+OFFSET rows, so neither the workers nor
+// the FE ever materialize the full sorted result.
+func runParallelOrderBy(tx *core.Txn, st *SelectStmt, ms *core.MorselScan, dop int,
+	fragment func(exec.Morsel) (exec.Operator, error),
+	exprs []exec.Expr, names []string, outSchema colfile.Schema) (*colfile.Batch, error) {
+	keys, err := orderKeys(st, outSchema)
+	if err != nil {
+		return nil, err
+	}
+	bound := int64(-1) // rows each worker must ship; -1 = all (full sort)
+	if st.Limit >= 0 {
+		bound = st.Limit + st.Offset
+	}
+	batches, err := exec.RunMorsels(ms.Morsels, dop, func(m exec.Morsel) (exec.Operator, error) {
+		op, err := fragment(m)
+		if err != nil {
+			return nil, err
+		}
+		op = &exec.Project{In: op, Exprs: exprs, Names: names}
+		if bound >= 0 {
+			return &exec.TopN{In: op, Keys: keys, N: bound, Tel: ms.Tel}, nil
+		}
+		return &exec.SortRuns{In: op, Keys: keys, Tel: ms.Tel}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if bound >= 0 {
+		tx.Work().TopNPushdowns.Add(1)
+	}
+	var out exec.Operator = exec.NewMergeRuns(outSchema, batches, keys, bound)
+	if st.Limit >= 0 {
+		out = &exec.Limit{In: out, N: st.Limit, Offset: st.Offset}
+	}
+	return exec.Collect(out)
 }
 
 func aliasOf(r TableRef) string {

@@ -21,10 +21,12 @@
 // Query execution is morsel-driven parallel: table scans are split into
 // per-file (or per-row-group) morsels fanned out over a worker pool sized by
 // the Parallelism config knob (default GOMAXPROCS) and capped by the compute
-// fabric's free slots, with filters, projections and partial aggregations
+// fabric's free slots, with filters, projections, join probes, partial
+// aggregations and per-morsel ORDER BY runs (top-N-bounded under LIMIT)
 // running per worker ahead of a deterministic merge: results are stable run
 // to run for a given Parallelism setting (across different settings, float
-// SUM/AVG may differ in the last ulp as summation order changes). Set
+// SUM/AVG may differ in the last ulp as summation order changes). The full
+// cross-DOP determinism contract is documented in docs/ARCHITECTURE.md. Set
 // Parallelism to 1 to force serial execution.
 package polaris
 
