@@ -3,7 +3,12 @@
 
 GO ?= go
 
-.PHONY: build lint test race bench-smoke bench-json docs ci
+# Output of the machine-readable micro-benchmark run. Parameterized so each
+# PR bumps one variable (or CI overrides it) instead of editing the target:
+#   make bench-json BENCH_JSON=BENCH_PR5.json
+BENCH_JSON ?= BENCH_PR4.json
+
+.PHONY: build lint test race bench-smoke bench-json fuzz-smoke docs ci
 
 build:
 	$(GO) build ./...
@@ -16,28 +21,43 @@ lint:
 	$(GO) vet ./...
 
 # -short skips the slow paper-figure experiments; the full suite
-# (`go test ./...`, no -short) is the tier-1 verification run.
+# (`go test ./...`, no -short) is the tier-1 verification run. The grace-join
+# spill tests (tiny-budget determinism, fault injection, fuzz seed corpora)
+# run in both.
 test:
 	$(GO) test -short ./...
 
 # Race-check the morsel-driven parallel executor and the SQL surface that
-# drives it.
+# drives it — including the grace-join spill path (root spill_test.go and
+# internal/exec/spill_test.go run tiny-budget spilling joins under -race on
+# every push).
 race:
 	$(GO) test -race -short . ./internal/exec/...
 
-# One iteration of every parallel-executor benchmark (scan, join, sort,
-# top-N): catches bit-rot in the benchmark harness (and the cross-DOP
-# identity checks inside them) without paying for a full measurement run.
+# One iteration of every parallel-executor benchmark (scan, join, spilled
+# join, sort, top-N): catches bit-rot in the benchmark harness (and the
+# cross-DOP identity checks inside them) without paying for a full
+# measurement run.
 bench-smoke:
 	$(GO) test -run NONE -bench 'BenchmarkParallel' -benchtime 1x .
 
 # Full micro-benchmark measurement written as machine-readable JSON: the
 # per-PR perf trajectory (ns/op + allocs/op for ParallelScan/ParallelJoin/
-# ParallelSort/ParallelTopN at DOP 1/4/8 plus the fmt-vs-typed key-encoding
-# baseline). CI uploads the file as a workflow artifact next to the previous
-# PR's snapshot so the trajectory is diffable per commit.
+# ParallelJoinSpill/ParallelSort/ParallelTopN at DOP 1/4/8 plus the
+# fmt-vs-typed key-encoding baseline). CI uploads the file as a workflow
+# artifact next to the previous PR's snapshot so the trajectory is diffable
+# per commit.
 bench-json:
-	$(GO) run ./cmd/benchrunner -json BENCH_PR3.json
+	$(GO) run ./cmd/benchrunner -json $(BENCH_JSON)
+
+# Bounded fuzz exploration of the encoded-key machinery the spill path leans
+# on (join/group keys, ORDER BY keys, spill batch round-trip). The seed
+# corpora already run inside `make test`; this adds a few seconds of
+# coverage-guided search per target on every push.
+fuzz-smoke:
+	$(GO) test -run NONE -fuzz '^FuzzAppendKey$$' -fuzztime 5s ./internal/colfile
+	$(GO) test -run NONE -fuzz '^FuzzAppendSortKey$$' -fuzztime 5s ./internal/colfile
+	$(GO) test -run NONE -fuzz '^FuzzBatchSpillRoundTrip$$' -fuzztime 5s ./internal/colfile
 
 # Documentation gate: every relative markdown link in the doc set must
 # resolve, and the package docs for the public API and the executor must
@@ -49,4 +69,4 @@ docs:
 	@$(GO) doc ./internal/colfile >/dev/null
 	@echo "docs OK"
 
-ci: build lint test race bench-smoke docs
+ci: build lint test race fuzz-smoke bench-smoke docs

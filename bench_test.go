@@ -198,6 +198,43 @@ func BenchmarkParallelJoin(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelJoinSpill — the same join pipeline forced through the
+// grace-join spill path (build side over budget, both sides partitioned to a
+// spill store, partition-wise join merged back into probe-row order). The
+// ns/op delta against BenchmarkParallelJoin is the measured price of
+// spilling; the identity check against the in-memory join's bytes is the
+// budget-invariance half of the determinism contract.
+func BenchmarkParallelJoinSpill(b *testing.B) {
+	files, rows := microFiles(b)
+	table, err := bench.ParallelJoinTable()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, dop := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("dop=%d", dop), func(b *testing.B) {
+			b.ReportAllocs()
+			var inMem string
+			for i := 0; i < b.N; i++ {
+				out, err := bench.ParallelJoinSpill(files, dop)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					ref, err := bench.ParallelJoinProbe(files, table, dop)
+					if err != nil {
+						b.Fatal(err)
+					}
+					inMem = renderBenchRows(ref)
+					if got := renderBenchRows(out); got != inMem {
+						b.Fatalf("dop=%d spilled join differs from in-memory join", dop)
+					}
+				}
+			}
+			b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "probe_rows/s")
+		})
+	}
+}
+
 // BenchmarkParallelSort — parallel ORDER BY over the 1M row dataset: each
 // morsel worker sorts its rows into a run (SortRuns on encoded sort keys),
 // merged by a loser-tree k-way merge. val DESC carries heavy ties, so the

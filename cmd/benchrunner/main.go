@@ -148,6 +148,18 @@ func runMicroJSON(path string) error {
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
+				if _, err := bench.ParallelJoinSpill(files, dop); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		record("ParallelJoinSpill", dop, r)
+	}
+	for _, dop := range []int{1, 4, 8} {
+		dop := dop
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
 				if _, err := bench.ParallelSort(files, dop); err != nil {
 					b.Fatal(err)
 				}

@@ -5,9 +5,10 @@
 //
 // Usage:
 //
-//	polaris-cli                 # interactive shell
-//	polaris-cli -e 'SELECT 1'   # run statements and exit
-//	polaris-cli -demo           # preload the TPC-H demo dataset (SF 0.1)
+//	polaris-cli                     # interactive shell
+//	polaris-cli -e 'SELECT 1'       # run statements and exit
+//	polaris-cli -demo               # preload the TPC-H demo dataset (SF 0.1)
+//	polaris-cli -join-budget 4096   # grace-spill join builds over 4 KiB
 package main
 
 import (
@@ -24,9 +25,12 @@ import (
 func main() {
 	exec := flag.String("e", "", "execute the given semicolon-separated statements and exit")
 	demo := flag.Bool("demo", false, "preload TPC-H tables at scale factor 0.1")
+	joinBudget := flag.Int64("join-budget", 0, "hash-join build-side memory budget in bytes; builds over it grace-spill to the object store (0 = unlimited)")
 	flag.Parse()
 
-	db := polaris.Open(polaris.DefaultConfig())
+	cfg := polaris.DefaultConfig()
+	cfg.JoinMemoryBudget = *joinBudget
+	db := polaris.Open(cfg)
 	defer db.Close()
 
 	if *demo {

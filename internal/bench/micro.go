@@ -216,6 +216,77 @@ func ParallelJoinProbe(files []exec.ScanFile, table *exec.JoinTable, dop int) (*
 	return exec.Collect(exec.NewBatchList(proto.Schema(), batches))
 }
 
+// joinBuildBatch lazily materializes the raw build-side batch of the join
+// micro-benchmarks (the spill variant re-drains it per iteration, since a
+// grace build consumes its input).
+var joinBuildBatch struct {
+	once  sync.Once
+	batch *colfile.Batch
+}
+
+func buildSide() *colfile.Batch {
+	d := &joinBuildBatch
+	d.once.Do(func() {
+		schema := colfile.Schema{
+			{Name: "k", Type: colfile.Int64},
+			{Name: "tag", Type: colfile.Int64},
+		}
+		b := colfile.NewBatch(schema)
+		for i := int64(0); i < 1<<16; i++ {
+			b.Cols[0].AppendInt(i % (1 << 14))
+			b.Cols[1].AppendInt(i)
+		}
+		d.batch = b
+	})
+	return d.batch
+}
+
+// ParallelJoinSpillBudget forces the 1 MiB build side of the join
+// micro-benchmark through the grace spill path (~8 partitions).
+const ParallelJoinSpillBudget = 128 << 10
+
+// ParallelJoinSpill runs the join micro-benchmark through the grace-join
+// spill path: the build side overflows ParallelJoinSpillBudget, both sides
+// are partitioned into an in-memory spill store, and the partition-wise join
+// is merged back into probe-row order. Output is byte-identical to
+// ParallelJoinProbe at every DOP; the ns/op delta against it is the measured
+// cost of spilling (partition, serialize, restore order).
+func ParallelJoinSpill(files []exec.ScanFile, dop int) (*colfile.Batch, error) {
+	src, err := exec.BuildGraceJoin(exec.NewBatchSource(buildSide()), []int{0}, exec.InnerJoin, dop,
+		exec.SpillConfig{Budget: ParallelJoinSpillBudget, Store: exec.NewMemSpillStore()}, nil)
+	if err != nil {
+		return nil, err
+	}
+	if src.Spilled == nil {
+		return nil, fmt.Errorf("bench: build side did not spill under %d-byte budget", ParallelJoinSpillBudget)
+	}
+	pred := exec.Bin{Kind: exec.OpLt, L: exec.ColRef{Idx: 1}, R: exec.Const{Val: int64(64)}}
+	morsels, err := exec.SplitMorsels(files, dop*4)
+	if err != nil {
+		return nil, err
+	}
+	probes, err := exec.RunMorsels(morsels, dop, func(m exec.Morsel) (exec.Operator, error) {
+		s, err := exec.NewMorselScan(m, nil, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		return &exec.Filter{In: s, Pred: pred}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	r, err := colfile.OpenReader(files[0].Data)
+	if err != nil {
+		return nil, err
+	}
+	joined, err := src.Spilled.JoinBatches(probes, []int{0}, r.Schema())
+	if err != nil {
+		return nil, err
+	}
+	outSchema := append(append(colfile.Schema{}, r.Schema()...), buildSide().Schema...)
+	return exec.Collect(exec.NewBatchList(outSchema, joined))
+}
+
 // FmtKeyEncode is the pre-PR2 fmt-based key encoding ("%v\x00" separators,
 // one boxed Value call and one Fprintf per column per row), kept as the
 // measured baseline the typed encoding is compared against in BENCH_PR2.json.

@@ -73,6 +73,11 @@ type Options struct {
 	// effective degree is additionally capped by the fabric's free slots at
 	// query start (compute.Fabric.LeaseSlots).
 	Parallelism int
+	// JoinMemoryBudget caps the bytes a hash-join build side may hold in
+	// memory; a build that exceeds it grace-spills both sides to the object
+	// store and joins partition-wise (byte-identical results either way).
+	// 0 or negative means unlimited — the build is always in-memory.
+	JoinMemoryBudget int64
 	// MaxTaskAttempts bounds DCP task retries.
 	MaxTaskAttempts int
 	// CheckpointEvery is the manifest-count threshold the STO uses.
@@ -134,6 +139,15 @@ type WorkStats struct {
 	// rows; the FE k-way merge cuts off early). Like MergeFreeAggs, the plan
 	// choice is deterministic, so tests assert on this counter.
 	TopNPushdowns atomic.Int64
+	// JoinSpills counts hash-join builds that exceeded JoinMemoryBudget and
+	// took the grace-join spill path (both sides partitioned to the object
+	// store, joined partition-wise). For a fixed snapshot and budget the
+	// build-side size is deterministic, so tests assert on this counter.
+	JoinSpills atomic.Int64
+	// JoinSpillBytes totals the bytes written to spill namespaces by grace
+	// joins (build and probe partitions, recursive repartitioning included)
+	// — the budget-accounting counterpart of BytesRead.
+	JoinSpillBytes atomic.Int64
 }
 
 // Snapshot returns a plain-values copy of the counters.
@@ -151,10 +165,11 @@ type Engine struct {
 	Work WorkStats
 	opts Options
 
-	mu         sync.Mutex
-	nextTxnID  int64
-	activeTxns map[int64]*Txn
-	observers  []func(CommitEvent)
+	mu          sync.Mutex
+	nextTxnID   int64
+	nextSpillID int64
+	activeTxns  map[int64]*Txn
+	observers   []func(CommitEvent)
 
 	// simTotal accumulates simulated time across all operations (benchmarks).
 	simTotal time.Duration

@@ -11,6 +11,7 @@ import (
 	"polaris/internal/deletevector"
 	"polaris/internal/exec"
 	"polaris/internal/manifest"
+	"polaris/internal/objectstore"
 )
 
 // Snapshot reconstructs the table state visible to this transaction
@@ -365,6 +366,26 @@ func (t *Txn) ScanCellMorsels(table string, asOfSeq int64) (*MorselScan, error) 
 
 // Parallelism returns the engine's configured intra-query parallelism target.
 func (t *Txn) Parallelism() int { return t.eng.opts.Parallelism }
+
+// JoinMemoryBudget returns the configured hash-join build-side memory budget
+// in bytes (0 or negative = unlimited, never spill).
+func (t *Txn) JoinMemoryBudget() int64 { return t.eng.opts.JoinMemoryBudget }
+
+// Distributions returns the engine's distribution bucket count — the cell
+// count of d(r), which a cell-aligned grace-join spill partitions by.
+func (t *Txn) Distributions() int { return t.eng.opts.Distributions }
+
+// NewSpillDir allocates a fresh query-scoped spill namespace in the object
+// store for a grace-spilling join. The caller owns cleanup: spill files are
+// transient query state, deleted when the statement finishes (on success and
+// on error alike).
+func (t *Txn) NewSpillDir() *objectstore.SpillDir {
+	t.eng.mu.Lock()
+	t.eng.nextSpillID++
+	n := t.eng.nextSpillID
+	t.eng.mu.Unlock()
+	return objectstore.NewSpillDir(t.eng.Store, fmt.Sprintf("t%d-q%d", t.id, n))
+}
 
 // Work exposes the engine-wide modeled-work counters to the query layer.
 func (t *Txn) Work() *WorkStats { return &t.eng.Work }

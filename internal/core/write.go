@@ -13,9 +13,11 @@ import (
 	"polaris/internal/manifest"
 )
 
-// distHash is d(r): the system-defined distribution function mapping a row to
-// a bucket (paper 2.3).
-func distHash(v any, buckets int) int {
+// DistHash is d(r): the system-defined distribution function mapping a row
+// to a bucket (paper 2.3). Exported because the SQL planner reuses it to
+// cell-align grace-join spill partitions with the table's storage cells —
+// one implementation, so the alignment cannot drift from the write path.
+func DistHash(v any, buckets int) int {
 	h := fnv.New32a()
 	fmt.Fprintf(h, "%v", v)
 	return int(h.Sum32() % uint32(buckets))
@@ -31,7 +33,7 @@ func partitionBatch(b *colfile.Batch, distCol string, buckets int) []*colfile.Ba
 	for r := 0; r < b.NumRows(); r++ {
 		p := 0
 		if dc >= 0 && !b.Cols[dc].IsNull(r) {
-			p = distHash(b.Cols[dc].Value(r), buckets)
+			p = DistHash(b.Cols[dc].Value(r), buckets)
 		} else if dc < 0 {
 			p = r % buckets // round-robin when no distribution column
 		}

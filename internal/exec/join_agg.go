@@ -236,9 +236,14 @@ func (p *Probe) probeBatch(lb *colfile.Batch) *colfile.Batch {
 
 // HashJoin is a build/probe equi-join. The right child is the build side.
 // With Parallelism > 1 the build side is hash-partitioned and the partition
-// tables are built concurrently. Next runs the probe serially over Left; the
-// SQL planner instead builds the JoinTable once (BuildHashJoin) and fans
-// per-morsel Probe operators out over the worker pool.
+// tables are built concurrently. Next runs the probe serially over Left.
+//
+// The SQL planner does NOT use this operator: it drains every build through
+// BuildGraceJoin — which honors the join memory budget and may spill — and
+// fans Probe (or SpilledProbe) out itself. HashJoin is the always-in-memory
+// reference composition of BuildHashJoin+Probe, kept as the oracle the join
+// semantics tests compare against; new callers wanting budget-aware joins
+// should go through BuildGraceJoin.
 type HashJoin struct {
 	Left, Right Operator
 	// LeftKeys and RightKeys are column indexes into each child's schema.

@@ -175,6 +175,74 @@ func RunMorsels(morsels []Morsel, dop int, build func(m Morsel) (Operator, error
 	return results, nil
 }
 
+// RunBatches fans pre-materialized per-morsel batches out over a pool of dop
+// workers, the batch-driven counterpart of RunMorsels: the planner's grace-
+// join spill path materializes the join output per morsel and then runs the
+// remaining plan fragment (filter, project, partial aggregation, sorted runs)
+// over those batches with the same morsel-indexed determinism. Nil input
+// batches yield nil outputs at the same index; results are returned in input
+// order regardless of completion order.
+func RunBatches(batches []*colfile.Batch, dop int, build func(i int, b *colfile.Batch) (Operator, error)) ([]*colfile.Batch, error) {
+	if dop < 1 {
+		dop = 1
+	}
+	if dop > len(batches) {
+		dop = len(batches)
+	}
+	results := make([]*colfile.Batch, len(batches))
+	if len(batches) == 0 {
+		return results, nil
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		mu     sync.Mutex
+		first  error
+		wg     sync.WaitGroup
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if first == nil {
+			first = err
+		}
+		mu.Unlock()
+		failed.Store(true)
+	}
+	for w := 0; w < dop; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(batches) || failed.Load() {
+					return
+				}
+				if batches[i] == nil || batches[i].NumRows() == 0 {
+					continue
+				}
+				op, err := build(i, batches[i])
+				if err != nil {
+					fail(err)
+					return
+				}
+				b, err := Collect(op)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if b != nil && b.NumRows() > 0 {
+					results[i] = b
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if first != nil {
+		return nil, first
+	}
+	return results, nil
+}
+
 // BatchList replays a sequence of pre-materialized batches in order: the
 // gather side of a parallel exchange.
 type BatchList struct {

@@ -1,0 +1,680 @@
+package exec
+
+// Grace hash-join spilling: when a join's build side exceeds the configured
+// memory budget, both sides are hash-partitioned into spill files written
+// through the (simulated) object store and the join runs partition by
+// partition with the ordinary in-memory JoinTable+Probe machinery. Probe rows
+// carry their global row ordinal through the spill files, and the partition
+// outputs are merged back into probe-row order, so a spilled join's output is
+// byte-identical to the in-memory join's at every degree of parallelism and
+// every budget setting (see docs/ARCHITECTURE.md, "Cross-DOP determinism
+// contract"). Skewed partitions that still exceed the budget are recursively
+// repartitioned with a depth-seeded hash; a partition a recursion cannot
+// shrink (a single hot key) is joined in memory as a last resort.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"polaris/internal/colfile"
+)
+
+// SpillStore is the namespace a spilled join writes its partition files to.
+// Names are relative to the namespace; List returns names with the given
+// prefix in lexicographic order. internal/objectstore.SpillDir implements it
+// over the simulated object store (latency and fault injection included);
+// NewMemSpillStore provides an in-process implementation for tests and
+// benchmarks.
+type SpillStore interface {
+	Put(name string, data []byte) error
+	Get(name string) ([]byte, error)
+	List(prefix string) []string
+}
+
+// PartitionFunc assigns a row to a spill partition given its batch, the key
+// column indexes, the row index and the row's encoded join key. Both join
+// sides must use the same function so matching rows land in the same
+// partition.
+type PartitionFunc func(b *colfile.Batch, keyCols []int, row int, key []byte) int
+
+// Spill tuning constants.
+const (
+	// defaultSpillFanout is the partition count per partitioning level.
+	defaultSpillFanout = 8
+	// maxSpillDepth bounds recursive repartitioning of skewed partitions.
+	maxSpillDepth = 3
+	// minSpillFlushBytes floors the per-partition write buffer so tiny
+	// budgets still produce sane file counts.
+	minSpillFlushBytes = 4 << 10
+)
+
+// SpillConfig configures grace-join spilling for one build.
+type SpillConfig struct {
+	// Budget is the build-side memory budget in bytes; <= 0 disables
+	// spilling (the build is always materialized in memory).
+	Budget int64
+	// Store receives the spill files; required when Budget > 0.
+	Store SpillStore
+	// Fanout is the partition count at depth 0; defaults to
+	// defaultSpillFanout. Recursive levels always use the default.
+	Fanout int
+	// Partition overrides the depth-0 partitioner; defaults to a seeded
+	// hash of the encoded join key. The planner passes a d(r)-based
+	// partitioner (core.DistHash over the key value) when the join key
+	// covers the build table's distribution column, so spill partitions
+	// align with the table's storage cells.
+	Partition PartitionFunc
+}
+
+// spillHash hashes an encoded key with a depth-seeded FNV-1a basis, so each
+// recursion level redistributes the keys its parent level hashed together.
+func spillHash(key []byte, depth int) uint32 {
+	h := uint32(2166136261) ^ (uint32(depth) * 0x9E3779B9)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// hashPartitioner partitions by the depth-seeded hash of the encoded key.
+func hashPartitioner(depth, fanout int) PartitionFunc {
+	return func(_ *colfile.Batch, _ []int, _ int, key []byte) int {
+		return int(spillHash(key, depth) % uint32(fanout))
+	}
+}
+
+// JoinSource is the product of a budget-aware hash-join build: exactly one of
+// Table (the build fit in memory) or Spilled (the build overflowed to the
+// spill store) is set.
+type JoinSource struct {
+	Table   *JoinTable
+	Spilled *SpilledJoin
+}
+
+// BuildSchema returns the build side's schema.
+func (s *JoinSource) BuildSchema() colfile.Schema {
+	if s.Table != nil {
+		return s.Table.BuildSchema()
+	}
+	return s.Spilled.buildSchema
+}
+
+// SpilledJoin is the spilled counterpart of JoinTable: the build side lives
+// in per-partition spill files, and JoinBatches runs the partition-wise join
+// against a probe side it partitions the same way.
+type SpilledJoin struct {
+	store       SpillStore
+	typ         JoinType
+	buildKeys   []int
+	buildSchema colfile.Schema
+	fanout      int
+	budget      int64
+	flushBytes  int64
+	parallelism int
+	partition   PartitionFunc
+	tel         *Telemetry
+
+	// partMem is the in-memory byte estimate of each depth-0 build
+	// partition, the quantity compared against the budget to decide
+	// recursive repartitioning.
+	partMem []int64
+
+	mu           sync.Mutex
+	bytesWritten int64
+	filesWritten int64
+}
+
+// SpillBytes returns the total bytes written to the spill store so far
+// (build and probe sides, recursion included).
+func (sj *SpilledJoin) SpillBytes() int64 {
+	sj.mu.Lock()
+	defer sj.mu.Unlock()
+	return sj.bytesWritten
+}
+
+// SpillFiles returns the number of spill files written so far.
+func (sj *SpilledJoin) SpillFiles() int64 {
+	sj.mu.Lock()
+	defer sj.mu.Unlock()
+	return sj.filesWritten
+}
+
+// Partitions returns the depth-0 partition count.
+func (sj *SpilledJoin) Partitions() int { return sj.fanout }
+
+func (sj *SpilledJoin) put(name string, data []byte) error {
+	if err := sj.store.Put(name, data); err != nil {
+		return fmt.Errorf("exec: spill write %s: %w", name, err)
+	}
+	sj.mu.Lock()
+	sj.bytesWritten += int64(len(data))
+	sj.filesWritten++
+	sj.mu.Unlock()
+	return nil
+}
+
+// spillWriter buffers rows per partition and flushes each buffer to a spill
+// file when it reaches flushBytes. File names are "<dir>/p%03d/f%09d": the
+// "f" segment keeps leaf files of one level disjoint from the "p" directories
+// of the next recursion level under prefix listing, and the zero-padded
+// sequence makes List order equal write order — which is what preserves row
+// order across a partition's files.
+type spillWriter struct {
+	sj     *SpilledJoin
+	dir    string
+	schema colfile.Schema
+	bufs   []*colfile.Batch
+	bufMem []int64 // running in-memory estimate of each unflushed buffer
+	seqs   []int
+	mem    []int64 // cumulative in-memory bytes routed to each partition
+	rows   []int64
+}
+
+func newSpillWriter(sj *SpilledJoin, dir string, schema colfile.Schema, fanout int) *spillWriter {
+	w := &spillWriter{
+		sj: sj, dir: dir, schema: schema,
+		bufs:   make([]*colfile.Batch, fanout),
+		bufMem: make([]int64, fanout),
+		seqs:   make([]int, fanout),
+		mem:    make([]int64, fanout),
+		rows:   make([]int64, fanout),
+	}
+	for i := range w.bufs {
+		w.bufs[i] = colfile.NewBatch(schema)
+	}
+	return w
+}
+
+func (w *spillWriter) add(p int, src *colfile.Batch, row int) error {
+	buf := w.bufs[p]
+	for c := range buf.Cols {
+		buf.Cols[c].Append(src.Cols[c], row)
+	}
+	w.rows[p]++
+	w.bufMem[p] += src.RowMemSize(row)
+	if w.bufMem[p] >= w.sj.flushBytes {
+		return w.flush(p)
+	}
+	return nil
+}
+
+func (w *spillWriter) flush(p int) error {
+	buf := w.bufs[p]
+	if buf.NumRows() == 0 {
+		return nil
+	}
+	w.mem[p] += w.bufMem[p]
+	data, err := colfile.MarshalBatch(buf)
+	if err != nil {
+		return err
+	}
+	name := fmt.Sprintf("%s/p%03d/f%09d", w.dir, p, w.seqs[p])
+	w.seqs[p]++
+	if err := w.sj.put(name, data); err != nil {
+		return err
+	}
+	w.bufs[p] = colfile.NewBatch(w.schema)
+	w.bufMem[p] = 0
+	return nil
+}
+
+func (w *spillWriter) finish() error {
+	for p := range w.bufs {
+		if err := w.flush(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// partDir names partition p's directory under dir.
+func partDir(dir string, p int) string { return fmt.Sprintf("%s/p%03d", dir, p) }
+
+// BuildGraceJoin drains the build operator under cfg.Budget. While the
+// materialized build side fits the budget it returns an ordinary in-memory
+// JoinTable (identical to BuildHashJoin). The moment it exceeds the budget,
+// the rows drained so far and the remainder of the stream are hash-
+// partitioned into spill files and a SpilledJoin is returned instead; the
+// caller then joins via JoinBatches (parallel planner) or SpilledProbe
+// (serial planner). Build rows with NULL keys are dropped at partition time —
+// they can never match, and no join type emits an unmatched build row.
+func BuildGraceJoin(build Operator, keys []int, typ JoinType, parallelism int, cfg SpillConfig, tel *Telemetry) (*JoinSource, error) {
+	schema := build.Schema()
+	var drained []*colfile.Batch
+	var total int64
+	for {
+		b, err := build.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			// Everything fit: the ordinary in-memory build.
+			jt, err := BuildHashJoin(NewBatchList(schema, drained), keys, typ, parallelism, tel)
+			if err != nil {
+				return nil, err
+			}
+			return &JoinSource{Table: jt}, nil
+		}
+		drained = append(drained, b)
+		total += b.MemSize()
+		if cfg.Budget > 0 && total > cfg.Budget {
+			break
+		}
+	}
+
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("exec: join build exceeds budget (%d bytes) and no spill store is configured", cfg.Budget)
+	}
+	fanout := cfg.Fanout
+	if fanout <= 0 {
+		fanout = defaultSpillFanout
+	}
+	part := cfg.Partition
+	if part == nil {
+		part = hashPartitioner(0, fanout)
+	}
+	flush := cfg.Budget / int64(fanout)
+	if flush < minSpillFlushBytes {
+		flush = minSpillFlushBytes
+	}
+	sj := &SpilledJoin{
+		store: cfg.Store, typ: typ, buildKeys: keys, buildSchema: schema,
+		fanout: fanout, budget: cfg.Budget, flushBytes: flush,
+		parallelism: parallelism, partition: part, tel: tel,
+	}
+
+	w := newSpillWriter(sj, "b/d0", schema, fanout)
+	spillBatch := func(b *colfile.Batch) error {
+		var keyBuf []byte
+		for r := 0; r < b.NumRows(); r++ {
+			k, ok := appendRowKey(keyBuf[:0], b, keys, r)
+			keyBuf = k
+			if !ok {
+				continue // NULL build key: unmatched forever, drop
+			}
+			if err := w.add(part(b, keys, r, k), b, r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var buildRows int64
+	for _, b := range drained {
+		buildRows += int64(b.NumRows())
+		if err := spillBatch(b); err != nil {
+			return nil, err
+		}
+	}
+	drained = nil // the spill files own the build side now
+	for {
+		b, err := build.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		buildRows += int64(b.NumRows())
+		if err := spillBatch(b); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.finish(); err != nil {
+		return nil, err
+	}
+	sj.partMem = w.mem
+	if tel != nil {
+		tel.RowsProcessed.Add(buildRows)
+	}
+	return &JoinSource{Spilled: sj}, nil
+}
+
+// rowNumField is the synthetic column a spilled probe row carries through the
+// partition files: its global ordinal in the probe stream, used to merge the
+// partition outputs back into probe-row order. The name never reaches a user
+// scope — it exists only inside the spill pipeline.
+var rowNumField = colfile.Field{Name: "__rownum", Type: colfile.Int64}
+
+// spillFileSource streams spill files back as batches, one file per Next.
+type spillFileSource struct {
+	store  SpillStore
+	names  []string
+	schema colfile.Schema
+	idx    int
+}
+
+func (s *spillFileSource) Schema() colfile.Schema { return s.schema }
+
+func (s *spillFileSource) Next() (*colfile.Batch, error) {
+	if s.idx >= len(s.names) {
+		return nil, nil
+	}
+	name := s.names[s.idx]
+	s.idx++
+	data, err := s.store.Get(name)
+	if err != nil {
+		return nil, fmt.Errorf("exec: spill read %s: %w", name, err)
+	}
+	return colfile.UnmarshalBatch(data)
+}
+
+// readSpillFiles materializes all leaf files under dir, in name order.
+func (sj *SpilledJoin) readSpillFiles(dir string) ([]*colfile.Batch, error) {
+	var out []*colfile.Batch
+	for _, name := range sj.store.List(dir + "/f") {
+		data, err := sj.store.Get(name)
+		if err != nil {
+			return nil, fmt.Errorf("exec: spill read %s: %w", name, err)
+		}
+		b, err := colfile.UnmarshalBatch(data)
+		if err != nil {
+			return nil, err
+		}
+		if b.NumRows() > 0 {
+			out = append(out, b)
+		}
+	}
+	return out, nil
+}
+
+// JoinBatches joins per-morsel probe batches (nil entries allowed) against
+// the spilled build side and returns per-morsel outputs whose concatenation
+// is byte-identical to probing an in-memory JoinTable morsel by morsel:
+// probe-row order globally, matches in build-row order within a row. probe
+// rows are partitioned with the build side's partitioner, each partition is
+// joined independently (recursively repartitioned while its build side still
+// exceeds the budget), and the partition outputs — each ascending in the
+// carried row ordinal — are merged back into global row order.
+func (sj *SpilledJoin) JoinBatches(probe []*colfile.Batch, leftKeys []int, leftSchema colfile.Schema) ([]*colfile.Batch, error) {
+	// Global row ordinals: offsets[i] is the first ordinal of morsel i.
+	offsets := make([]int64, len(probe)+1)
+	for i, b := range probe {
+		n := int64(0)
+		if b != nil {
+			n = int64(b.NumRows())
+		}
+		offsets[i+1] = offsets[i] + n
+	}
+
+	// Partition the probe side, each row extended with its ordinal.
+	spillSchema := append(append(colfile.Schema{}, leftSchema...), rowNumField)
+	rowNumIdx := len(leftSchema)
+	w := newSpillWriter(sj, "l/d0", spillSchema, sj.fanout)
+	for i, b := range probe {
+		if b == nil {
+			continue
+		}
+		ext := &colfile.Batch{Schema: spillSchema, Cols: make([]*colfile.Vec, len(spillSchema))}
+		copy(ext.Cols, b.Cols)
+		nums := colfile.NewVec(colfile.Int64)
+		for r := 0; r < b.NumRows(); r++ {
+			nums.AppendInt(offsets[i] + int64(r))
+		}
+		ext.Cols[rowNumIdx] = nums
+		var keyBuf []byte
+		for r := 0; r < b.NumRows(); r++ {
+			k, ok := appendRowKey(keyBuf[:0], ext, leftKeys, r)
+			keyBuf = k
+			p := 0
+			if !ok {
+				// NULL probe keys never match. Only a left outer join emits
+				// them (as a NULL-padded row, via partition 0's leaf probe);
+				// inner and semi joins drop them here instead of paying the
+				// spill round trip.
+				if sj.typ != LeftOuterJoin {
+					continue
+				}
+			} else {
+				p = sj.partition(ext, leftKeys, r, k)
+			}
+			if err := w.add(p, ext, r); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := w.finish(); err != nil {
+		return nil, err
+	}
+
+	// Join each partition, recursing while the build side exceeds budget.
+	var leaves []*colfile.Batch
+	for p := 0; p < sj.fanout; p++ {
+		if err := sj.joinPartition(partDir("b/d0", p), partDir("l/d0", p), sj.partMem[p], 0, leftKeys, spillSchema, &leaves); err != nil {
+			return nil, err
+		}
+	}
+
+	// Merge leaf outputs into global probe-row order. Every probe row lives
+	// in exactly one leaf and each leaf is ascending by ordinal, so a stable
+	// sort on the ordinal restores global order while keeping a row's
+	// matches in build order.
+	outSchema := leftSchema
+	if sj.typ != SemiJoin {
+		outSchema = append(append(colfile.Schema{}, leftSchema...), sj.buildSchema...)
+	}
+	type ref struct {
+		leaf, row int
+		num       int64
+	}
+	var refs []ref
+	for li, lb := range leaves {
+		nums := lb.Cols[rowNumIdx]
+		for r := 0; r < lb.NumRows(); r++ {
+			refs = append(refs, ref{leaf: li, row: r, num: nums.Ints[r]})
+		}
+	}
+	sort.SliceStable(refs, func(i, j int) bool { return refs[i].num < refs[j].num })
+
+	// Split back into per-morsel batches by ordinal range, dropping the
+	// ordinal column (leaf columns are left..., __rownum, build...).
+	outs := make([]*colfile.Batch, len(probe))
+	k := 0
+	for i := range probe {
+		lo, hi := offsets[i], offsets[i+1]
+		if lo == hi {
+			continue
+		}
+		var out *colfile.Batch
+		for k < len(refs) && refs[k].num < hi {
+			if out == nil {
+				out = colfile.NewBatch(outSchema)
+			}
+			lb := leaves[refs[k].leaf]
+			for c := 0; c < rowNumIdx; c++ {
+				out.Cols[c].Append(lb.Cols[c], refs[k].row)
+			}
+			for c := rowNumIdx; c < len(outSchema); c++ {
+				out.Cols[c].Append(lb.Cols[c+1], refs[k].row)
+			}
+			k++
+		}
+		if out != nil && out.NumRows() > 0 {
+			outs[i] = out
+		}
+	}
+	return outs, nil
+}
+
+// joinPartition joins one (build, probe) partition pair. While the build
+// side's in-memory estimate exceeds the budget and depth remains, both sides
+// are repartitioned with the next depth's seeded hash and the sub-partitions
+// recurse; otherwise the partition is joined in memory (for a single hot key
+// recursion cannot split, this is the documented last resort).
+func (sj *SpilledJoin) joinPartition(buildDir, probeDir string, buildMem int64, depth int, leftKeys []int, probeSchema colfile.Schema, leaves *[]*colfile.Batch) error {
+	if buildMem > sj.budget && depth+1 < maxSpillDepth {
+		next := hashPartitioner(depth+1, defaultSpillFanout)
+		bw := newSpillWriter(sj, buildDir, sj.buildSchema, defaultSpillFanout)
+		if err := sj.repartition(buildDir, sj.buildSchema, sj.buildKeys, next, bw); err != nil {
+			return err
+		}
+		lw := newSpillWriter(sj, probeDir, probeSchema, defaultSpillFanout)
+		if err := sj.repartition(probeDir, probeSchema, leftKeys, next, lw); err != nil {
+			return err
+		}
+		for p := 0; p < defaultSpillFanout; p++ {
+			if err := sj.joinPartition(partDir(buildDir, p), partDir(probeDir, p), bw.mem[p], depth+1, leftKeys, probeSchema, leaves); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	probeNames := sj.store.List(probeDir + "/f")
+	if len(probeNames) == 0 {
+		return nil // no probe rows: skip the build-side reads entirely
+	}
+	buildBatches, err := sj.readSpillFiles(buildDir)
+	if err != nil {
+		return err
+	}
+	jt, err := BuildHashJoin(NewBatchList(sj.buildSchema, buildBatches), sj.buildKeys, sj.typ, sj.parallelism, nil)
+	if err != nil {
+		return err
+	}
+	out, err := Collect(&Probe{
+		In:    &spillFileSource{store: sj.store, names: probeNames, schema: probeSchema},
+		Table: jt, LeftKeys: leftKeys, Tel: sj.tel,
+	})
+	if err != nil {
+		return err
+	}
+	if out.NumRows() > 0 {
+		*leaves = append(*leaves, out)
+	}
+	return nil
+}
+
+// repartition redistributes a partition's leaf files into sub-partitions
+// under the same directory using the next level's partitioner, preserving
+// row order within every sub-partition (files are read in name order — write
+// order — and rows split stably).
+func (sj *SpilledJoin) repartition(dir string, schema colfile.Schema, keys []int, part PartitionFunc, w *spillWriter) error {
+	for _, name := range sj.store.List(dir + "/f") {
+		data, err := sj.store.Get(name)
+		if err != nil {
+			return fmt.Errorf("exec: spill read %s: %w", name, err)
+		}
+		b, err := colfile.UnmarshalBatch(data)
+		if err != nil {
+			return err
+		}
+		var keyBuf []byte
+		for r := 0; r < b.NumRows(); r++ {
+			k, ok := appendRowKey(keyBuf[:0], b, keys, r)
+			keyBuf = k
+			p := 0
+			if ok {
+				p = part(b, keys, r, k)
+			}
+			if err := w.add(p, b, r); err != nil {
+				return err
+			}
+		}
+	}
+	return w.finish()
+}
+
+// SpilledProbe is the serial executor's probe over a spilled build side: it
+// materializes its input, runs the partition-wise join, and emits the single
+// merged batch — byte-identical to streaming the input through an in-memory
+// Probe.
+type SpilledProbe struct {
+	In       Operator
+	Join     *SpilledJoin
+	LeftKeys []int
+
+	schema colfile.Schema
+	done   bool
+}
+
+// Schema implements Operator.
+func (p *SpilledProbe) Schema() colfile.Schema {
+	if p.schema == nil {
+		l := p.In.Schema()
+		if p.Join.typ == SemiJoin {
+			p.schema = l
+		} else {
+			p.schema = append(append(colfile.Schema{}, l...), p.Join.buildSchema...)
+		}
+	}
+	return p.schema
+}
+
+// Next implements Operator.
+func (p *SpilledProbe) Next() (*colfile.Batch, error) {
+	if p.done {
+		return nil, nil
+	}
+	p.done = true
+	in, err := Collect(p.In)
+	if err != nil {
+		return nil, err
+	}
+	outs, err := p.Join.JoinBatches([]*colfile.Batch{in}, p.LeftKeys, p.In.Schema())
+	if err != nil {
+		return nil, err
+	}
+	return outs[0], nil
+}
+
+// MemSpillStore is an in-process SpillStore for tests and benchmarks.
+type MemSpillStore struct {
+	mu    sync.Mutex
+	blobs map[string][]byte
+	// FailPut, when non-zero, makes the Nth Put (1-based) fail, once — the
+	// hook spill fault tests use to exercise the clean-error path (same
+	// fire-exactly-once semantics as objectstore.FaultInjector.FailNth).
+	FailPut int
+	puts    int
+}
+
+// NewMemSpillStore returns an empty in-memory spill store.
+func NewMemSpillStore() *MemSpillStore {
+	return &MemSpillStore{blobs: make(map[string][]byte)}
+}
+
+// Put implements SpillStore.
+func (m *MemSpillStore) Put(name string, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.puts++
+	if m.FailPut > 0 && m.puts == m.FailPut {
+		return fmt.Errorf("memspill: injected put failure")
+	}
+	m.blobs[name] = append([]byte(nil), data...)
+	return nil
+}
+
+// Get implements SpillStore.
+func (m *MemSpillStore) Get(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.blobs[name]
+	if !ok {
+		return nil, fmt.Errorf("memspill: %s not found", name)
+	}
+	return append([]byte(nil), b...), nil
+}
+
+// List implements SpillStore.
+func (m *MemSpillStore) List(prefix string) []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var names []string
+	for name := range m.blobs {
+		if len(name) >= len(prefix) && name[:len(prefix)] == prefix {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Count returns the number of stored spill files.
+func (m *MemSpillStore) Count() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.blobs)
+}

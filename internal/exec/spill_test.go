@@ -1,0 +1,302 @@
+package exec
+
+// Grace hash-join spilling: the spilled partition-wise join must be
+// byte-identical to the in-memory JoinTable+Probe path for every join type,
+// key shape (duplicates, NULLs, skew) and morsel decomposition, and a failed
+// spill write must surface a clean error.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"polaris/internal/colfile"
+)
+
+// buildSideBatch returns a build side over (k INT, tag VARCHAR) with
+// duplicate keys, NULL keys, and rows enough to overflow small budgets.
+func buildSideBatch(rows int) *colfile.Batch {
+	schema := colfile.Schema{
+		{Name: "k", Type: colfile.Int64},
+		{Name: "tag", Type: colfile.String},
+	}
+	b := colfile.NewBatch(schema)
+	for i := 0; i < rows; i++ {
+		if i%13 == 7 {
+			b.Cols[0].AppendNull() // NULL build keys never match
+		} else {
+			b.Cols[0].AppendInt(int64(i % 50)) // heavy duplication
+		}
+		b.Cols[1].AppendStr(fmt.Sprintf("tag-%03d", i))
+	}
+	return b
+}
+
+// probeSideBatches returns the probe side over (k INT, v INT) split into
+// morsel-shaped batches, including a nil morsel and NULL probe keys.
+func probeSideBatches(rows, morsels int) []*colfile.Batch {
+	schema := colfile.Schema{
+		{Name: "k", Type: colfile.Int64},
+		{Name: "v", Type: colfile.Int64},
+	}
+	out := make([]*colfile.Batch, 0, morsels+1)
+	per := (rows + morsels - 1) / morsels
+	r := 0
+	for m := 0; m < morsels; m++ {
+		b := colfile.NewBatch(schema)
+		for i := 0; i < per && r < rows; i++ {
+			if r%17 == 3 {
+				b.Cols[0].AppendNull()
+			} else {
+				b.Cols[0].AppendInt(int64(r % 61)) // some keys miss the build
+			}
+			b.Cols[1].AppendInt(int64(r))
+			r++
+		}
+		out = append(out, b)
+		if m == 1 {
+			out = append(out, nil) // empty morsel mid-stream
+		}
+	}
+	return out
+}
+
+func renderSpillBatch(b *colfile.Batch) string {
+	if b == nil {
+		return "<nil>"
+	}
+	var sb strings.Builder
+	for r := 0; r < b.NumRows(); r++ {
+		fmt.Fprintf(&sb, "%v\n", b.Row(r))
+	}
+	return sb.String()
+}
+
+// inMemoryReference probes every batch against an in-memory JoinTable,
+// returning per-batch renders — the bytes a spilled join must reproduce.
+func inMemoryReference(t *testing.T, build *colfile.Batch, probe []*colfile.Batch, typ JoinType, leftKeys, rightKeys []int) []string {
+	t.Helper()
+	jt, err := BuildHashJoin(NewBatchSource(build), rightKeys, typ, 4, nil)
+	if err != nil {
+		t.Fatalf("in-memory build: %v", err)
+	}
+	out := make([]string, len(probe))
+	for i, b := range probe {
+		if b == nil {
+			out[i] = "<nil>"
+			continue
+		}
+		got, err := Collect(&Probe{In: NewBatchSource(b), Table: jt, LeftKeys: leftKeys})
+		if err != nil {
+			t.Fatalf("in-memory probe: %v", err)
+		}
+		out[i] = renderSpillBatch(got)
+	}
+	return out
+}
+
+func spilledResult(t *testing.T, build *colfile.Batch, probe []*colfile.Batch, typ JoinType, leftKeys, rightKeys []int, cfg SpillConfig) (*SpilledJoin, []string) {
+	t.Helper()
+	src, err := BuildGraceJoin(NewBatchSource(build), rightKeys, typ, 4, cfg, nil)
+	if err != nil {
+		t.Fatalf("grace build: %v", err)
+	}
+	if src.Spilled == nil {
+		t.Fatalf("build of %d bytes did not spill under budget %d", build.MemSize(), cfg.Budget)
+	}
+	outs, err := src.Spilled.JoinBatches(probe, leftKeys, probe[0].Schema)
+	if err != nil {
+		t.Fatalf("spilled join: %v", err)
+	}
+	rendered := make([]string, len(outs))
+	for i, b := range outs {
+		if b == nil {
+			rendered[i] = emptyRender(probe[i])
+		} else {
+			rendered[i] = renderSpillBatch(b)
+		}
+	}
+	return src.Spilled, rendered
+}
+
+// emptyRender maps a nil spilled output back to what the in-memory reference
+// renders for that morsel: "<nil>" for a nil input morsel, "" for a morsel
+// that produced no rows.
+func emptyRender(probe *colfile.Batch) string {
+	if probe == nil {
+		return "<nil>"
+	}
+	return ""
+}
+
+func TestGraceJoinSpilledMatchesInMemory(t *testing.T) {
+	build := buildSideBatch(600)
+	probe := probeSideBatches(400, 5)
+	for _, typ := range []JoinType{InnerJoin, LeftOuterJoin, SemiJoin} {
+		want := inMemoryReference(t, build, probe, typ, []int{0}, []int{0})
+		store := NewMemSpillStore()
+		sj, got := spilledResult(t, build, probe, typ, []int{0}, []int{0},
+			SpillConfig{Budget: 2048, Store: store})
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("type %d morsel %d: spilled join differs from in-memory:\ngot:\n%s\nwant:\n%s", typ, i, got[i], want[i])
+			}
+		}
+		if sj.SpillBytes() == 0 || sj.SpillFiles() == 0 {
+			t.Fatalf("type %d: spill accounting empty: bytes=%d files=%d", typ, sj.SpillBytes(), sj.SpillFiles())
+		}
+		if store.Count() == 0 {
+			t.Fatalf("type %d: no spill files written", typ)
+		}
+	}
+}
+
+// TestGraceJoinSkewRecursion forces the recursive-repartition path: one hot
+// key holds most of the build side, so its depth-0 partition exceeds the
+// budget and is repartitioned; the hot key itself can never split, bottoming
+// out in the documented in-memory fallback — with output still byte-identical.
+func TestGraceJoinSkewRecursion(t *testing.T) {
+	schema := colfile.Schema{
+		{Name: "k", Type: colfile.Int64},
+		{Name: "tag", Type: colfile.String},
+	}
+	build := colfile.NewBatch(schema)
+	for i := 0; i < 800; i++ {
+		k := int64(7) // hot key
+		if i%10 == 0 {
+			k = int64(i)
+		}
+		build.Cols[0].AppendInt(k)
+		build.Cols[1].AppendStr(fmt.Sprintf("t%04d", i))
+	}
+	probe := probeSideBatches(120, 3)
+	want := inMemoryReference(t, build, probe, InnerJoin, []int{0}, []int{0})
+	_, got := spilledResult(t, build, probe, InnerJoin, []int{0}, []int{0},
+		SpillConfig{Budget: 1024, Store: NewMemSpillStore()})
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("morsel %d under skew differs:\ngot:\n%s\nwant:\n%s", i, got[i], want[i])
+		}
+	}
+}
+
+// TestGraceJoinCustomPartitioner pins the pluggable depth-0 partitioner (the
+// hook the planner uses to cell-align partitions with d(r)): any partitioner
+// applied to both sides keeps results byte-identical.
+func TestGraceJoinCustomPartitioner(t *testing.T) {
+	build := buildSideBatch(500)
+	probe := probeSideBatches(300, 4)
+	// A value-based partitioner in the shape of core's d(r): buckets by the
+	// first key column's value, NULLs to partition 0.
+	byValue := func(b *colfile.Batch, keyCols []int, row int, _ []byte) int {
+		v := b.Cols[keyCols[0]]
+		if v.IsNull(row) {
+			return 0
+		}
+		return int(uint64(v.Ints[row]) % 8)
+	}
+	want := inMemoryReference(t, build, probe, InnerJoin, []int{0}, []int{0})
+	_, got := spilledResult(t, build, probe, InnerJoin, []int{0}, []int{0},
+		SpillConfig{Budget: 2048, Store: NewMemSpillStore(), Fanout: 8, Partition: byValue})
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("morsel %d under custom partitioning differs:\ngot:\n%s\nwant:\n%s", i, got[i], want[i])
+		}
+	}
+}
+
+// TestGraceJoinMultiColumnStringKeys exercises multi-column keys with strings
+// (the self-delimiting AppendKey encoding) through the spill path.
+func TestGraceJoinMultiColumnStringKeys(t *testing.T) {
+	schema := colfile.Schema{
+		{Name: "a", Type: colfile.String},
+		{Name: "b", Type: colfile.Int64},
+	}
+	build := colfile.NewBatch(schema)
+	for i := 0; i < 400; i++ {
+		build.Cols[0].AppendStr(fmt.Sprintf("s%c", 'a'+i%4))
+		build.Cols[1].AppendInt(int64(i % 9))
+	}
+	probe := []*colfile.Batch{colfile.NewBatch(schema), colfile.NewBatch(schema)}
+	for i := 0; i < 120; i++ {
+		p := probe[i%2]
+		p.Cols[0].AppendStr(fmt.Sprintf("s%c", 'a'+i%5))
+		p.Cols[1].AppendInt(int64(i % 11))
+	}
+	want := inMemoryReference(t, build, probe, InnerJoin, []int{0, 1}, []int{0, 1})
+	_, got := spilledResult(t, build, probe, InnerJoin, []int{0, 1}, []int{0, 1},
+		SpillConfig{Budget: 1024, Store: NewMemSpillStore()})
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("morsel %d with composite keys differs:\ngot:\n%s\nwant:\n%s", i, got[i], want[i])
+		}
+	}
+}
+
+// TestGraceJoinUnderBudgetStaysInMemory pins that a build within budget
+// returns an ordinary JoinTable and writes nothing to the store.
+func TestGraceJoinUnderBudgetStaysInMemory(t *testing.T) {
+	build := buildSideBatch(50)
+	store := NewMemSpillStore()
+	src, err := BuildGraceJoin(NewBatchSource(build), []int{0}, InnerJoin, 2,
+		SpillConfig{Budget: 1 << 20, Store: store}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Table == nil || src.Spilled != nil {
+		t.Fatalf("under-budget build spilled")
+	}
+	if store.Count() != 0 {
+		t.Fatalf("under-budget build wrote %d spill files", store.Count())
+	}
+}
+
+// TestGraceJoinSpillWriteFailure injects a failing spill write at several
+// points of the pipeline (build partitioning, probe partitioning) and
+// requires a clean error — no panic, no partial result.
+func TestGraceJoinSpillWriteFailure(t *testing.T) {
+	build := buildSideBatch(600)
+	probe := probeSideBatches(400, 4)
+	for _, failAt := range []int{1, 2, 5} {
+		store := NewMemSpillStore()
+		store.FailPut = failAt
+		src, err := BuildGraceJoin(NewBatchSource(build), []int{0}, InnerJoin, 2,
+			SpillConfig{Budget: 2048, Store: store}, nil)
+		if err == nil {
+			// The build survived (failure lands on the probe side).
+			if src.Spilled == nil {
+				t.Fatalf("failAt=%d: expected a spilled build", failAt)
+			}
+			_, err = src.Spilled.JoinBatches(probe, []int{0}, probe[0].Schema)
+		}
+		if err == nil {
+			t.Fatalf("failAt=%d: injected put failure surfaced no error", failAt)
+		}
+		if !strings.Contains(err.Error(), "spill write") {
+			t.Fatalf("failAt=%d: error does not name the spill write: %v", failAt, err)
+		}
+	}
+}
+
+// TestSpilledProbeOperator runs the serial executor's SpilledProbe and
+// compares against streaming the same input through an in-memory Probe.
+func TestSpilledProbeOperator(t *testing.T) {
+	build := buildSideBatch(500)
+	probe := probeSideBatches(300, 1)
+	want := inMemoryReference(t, build, probe, LeftOuterJoin, []int{0}, []int{0})
+	src, err := BuildGraceJoin(NewBatchSource(build), []int{0}, LeftOuterJoin, 2,
+		SpillConfig{Budget: 2048, Store: NewMemSpillStore()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Spilled == nil {
+		t.Fatal("expected a spilled build")
+	}
+	got, err := Collect(&SpilledProbe{In: NewBatchSource(probe[0]), Join: src.Spilled, LeftKeys: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderSpillBatch(got) != want[0] {
+		t.Fatalf("SpilledProbe differs from in-memory probe:\ngot:\n%s\nwant:\n%s", renderSpillBatch(got), want[0])
+	}
+}

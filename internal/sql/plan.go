@@ -11,6 +11,7 @@ import (
 	"polaris/internal/colfile"
 	"polaris/internal/core"
 	"polaris/internal/exec"
+	"polaris/internal/objectstore"
 )
 
 // Result is the outcome of executing one statement.
@@ -351,6 +352,12 @@ func runSelect(tx *core.Txn, st *SelectStmt) (*colfile.Batch, error) {
 		hint = prunableRange(st.Where, meta, aliasOf(st.From))
 	}
 
+	// Grace-join spill context: the engine's JoinMemoryBudget plus a lazily
+	// allocated query-scoped spill namespace. finish() runs after the result
+	// is materialized, so spill files are deleted on success and error alike.
+	spill := newJoinSpill(tx)
+	defer spill.finish()
+
 	// Statements go through the morsel-driven parallel executor when the
 	// engine has a parallelism target — joins and ORDER BY included: build
 	// sides are materialized into shared JoinTables once, the probe side
@@ -361,7 +368,7 @@ func runSelect(tx *core.Txn, st *SelectStmt) (*colfile.Batch, error) {
 	// parallel path would materialize every morsel first.
 	bareLimit := st.Limit >= 0 && len(st.OrderBy) == 0 && !selectHasAgg(st)
 	if tx.Parallelism() > 1 && !bareLimit {
-		b, handled, err := runSelectParallel(tx, st, meta, hint)
+		b, handled, err := runSelectParallel(tx, st, meta, hint, spill)
 		if handled {
 			return b, err
 		}
@@ -372,16 +379,25 @@ func runSelect(tx *core.Txn, st *SelectStmt) (*colfile.Batch, error) {
 		return nil, err
 	}
 
-	// Joins: hash equi-joins extracted from the ON conjunction. The build
-	// side is partitioned and built in parallel per the engine's DOP.
+	// Joins: hash equi-joins extracted from the ON conjunction. Each build
+	// side is drained eagerly under the join memory budget: while it fits,
+	// the probe streams against an in-memory JoinTable exactly as before; a
+	// build that overflows grace-spills and the probe joins partition-wise
+	// (byte-identical output either way).
 	for _, j := range st.Joins {
 		bj, jsc, err := bindJoin(tx, j, sc)
 		if err != nil {
 			return nil, err
 		}
-		op = &exec.HashJoin{
-			Left: op, Right: bj.right, LeftKeys: bj.leftKeys, RightKeys: bj.rightKeys,
-			Type: bj.typ, Parallelism: tx.Parallelism(),
+		src, err := exec.BuildGraceJoin(bj.right, bj.rightKeys, bj.typ, tx.Parallelism(), spill.config(bj), nil)
+		if err != nil {
+			return nil, err
+		}
+		spill.track(src)
+		if src.Spilled != nil {
+			op = &exec.SpilledProbe{In: op, Join: src.Spilled, LeftKeys: bj.leftKeys}
+		} else {
+			op = &exec.Probe{In: op, Table: src.Table, LeftKeys: bj.leftKeys}
 		}
 		sc = jsc
 	}
@@ -439,20 +455,26 @@ func finishSelect(st *SelectStmt, outOp exec.Operator) (*colfile.Batch, error) {
 const morselsPerWorker = 4
 
 // boundJoin is one join clause's planning product: the build-side operator,
-// the resolved key columns and the join type. The serial path wraps it in a
-// lazy HashJoin; the parallel path builds the JoinTable eagerly and fans
-// Probe operators out per morsel. Both paths share this binding so their
-// join semantics cannot drift apart.
+// the resolved key columns and the join type. Both the serial and parallel
+// paths drain it through BuildGraceJoin, so their join semantics (and the
+// spill decision) cannot drift apart. distAligned marks a join whose key
+// covers the build table's distribution column, letting a spilling build
+// reuse the table's cell boundaries as partition seams.
 type boundJoin struct {
 	right               exec.Operator
 	leftKeys, rightKeys []int
 	typ                 exec.JoinType
+	distAligned         bool
 }
 
 // bindJoin opens the join's right table, resolves the equi-join keys against
 // the current scope, and returns the binding plus the joined output scope.
 func bindJoin(tx *core.Txn, j JoinClause, sc *scope) (*boundJoin, *scope, error) {
 	rop, rsc, err := scanTable(tx, j.Table, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	rmeta, err := tx.Table(j.Table.Name)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -468,7 +490,136 @@ func bindJoin(tx *core.Txn, j JoinClause, sc *scope) (*boundJoin, *scope, error)
 		schema: append(append(colfile.Schema{}, sc.schema...), rsc.schema...),
 		quals:  append(append([]string{}, sc.quals...), rsc.quals...),
 	}
-	return &boundJoin{right: rop, leftKeys: lk, rightKeys: rk, typ: typ}, joined, nil
+	distAligned := len(rk) == 1 && rmeta.DistributionCol != "" &&
+		strings.EqualFold(rsc.schema[rk[0]].Name, rmeta.DistributionCol)
+	return &boundJoin{right: rop, leftKeys: lk, rightKeys: rk, typ: typ, distAligned: distAligned}, joined, nil
+}
+
+// joinSpill carries one statement's grace-join spill state: the engine's
+// build-side memory budget, the per-build spill namespaces, and the spilled
+// builds to account for. Each build gets its own namespace — two spilling
+// joins in one statement write identical relative partition paths, so
+// sharing a namespace would let the second build overwrite the first's
+// files. It exists per statement so finish() can delete the namespaces
+// exactly when the result is materialized.
+type joinSpill struct {
+	tx      *core.Txn
+	budget  int64
+	pending *objectstore.SpillDir // namespace handed to the build in flight
+	dirs    []*objectstore.SpillDir
+	spilled []*exec.SpilledJoin
+}
+
+func newJoinSpill(tx *core.Txn) *joinSpill {
+	return &joinSpill{tx: tx, budget: tx.JoinMemoryBudget()}
+}
+
+// config assembles the spill configuration for one join build: the budget, a
+// namespace of its own, and — when the join key covers the build table's
+// distribution column — a d(r) partitioner, so spill partitions coincide
+// with the table's storage cells. Namespace creation is pure bookkeeping (no
+// store IO); only builds that actually spill retain theirs (note), so the
+// no-spill path never pays a cleanup round trip.
+func (s *joinSpill) config(bj *boundJoin) exec.SpillConfig {
+	cfg := exec.SpillConfig{Budget: s.budget}
+	if s.budget <= 0 {
+		return cfg
+	}
+	s.pending = s.tx.NewSpillDir()
+	cfg.Store = s.pending
+	if bj.distAligned {
+		fanout := s.tx.Distributions()
+		cfg.Fanout = fanout
+		cfg.Partition = func(b *colfile.Batch, keyCols []int, row int, _ []byte) int {
+			v := b.Cols[keyCols[0]]
+			if v.IsNull(row) {
+				return 0
+			}
+			return core.DistHash(v.Value(row), fanout)
+		}
+	}
+	return cfg
+}
+
+// track resolves the pending namespace after a build completes: a spilled
+// build is recorded in the engine-wide work counters (plan choice is
+// deterministic for a given snapshot and budget, so tests assert on it) and
+// its namespace kept for cleanup; an in-memory build wrote nothing, so its
+// namespace is simply dropped — no cleanup round trip on the no-spill path.
+func (s *joinSpill) track(src *exec.JoinSource) {
+	if src.Spilled != nil {
+		s.spilled = append(s.spilled, src.Spilled)
+		s.dirs = append(s.dirs, s.pending)
+		s.tx.Work().JoinSpills.Add(1)
+	}
+	s.pending = nil
+}
+
+// finish adds the spill-bytes accounting and deletes the query's spill
+// namespaces — including a still-pending one, which means the build errored
+// mid-spill and may have partition files on disk already. Cleanup is best
+// effort (errors leave orphans confined to the spill/ namespace, outside
+// GC's and the publishers' prefixes).
+func (s *joinSpill) finish() {
+	for _, sj := range s.spilled {
+		s.tx.Work().JoinSpillBytes.Add(sj.SpillBytes())
+	}
+	if s.pending != nil {
+		_ = s.pending.Cleanup()
+	}
+	for _, dir := range s.dirs {
+		_ = dir.Cleanup()
+	}
+}
+
+// probeStage is one planned join stage of a parallel SELECT: an in-memory
+// JoinTable shared by per-morsel Probe operators, or a spilled build joined
+// partition-wise.
+type probeStage struct {
+	src      *exec.JoinSource
+	leftKeys []int
+	typ      exec.JoinType
+}
+
+// runSpilledJoinStages executes a parallel SELECT's join pipeline when at
+// least one build spilled: the probe-side scan is materialized per morsel,
+// then each stage transforms the per-morsel batches in order — in-memory
+// stages probe every batch in parallel against the shared JoinTable, spilled
+// stages run the partition-wise grace join (whose per-morsel outputs are
+// byte-identical to in-memory probes of the same batches). Morsel order, and
+// with it the downstream determinism contract, is preserved throughout.
+func runSpilledJoinStages(tx *core.Txn, ms *core.MorselScan, dop int, stages []probeStage, hint *exec.PruneHint) ([]*colfile.Batch, error) {
+	cur, err := exec.RunMorsels(ms.Morsels, dop, func(m exec.Morsel) (exec.Operator, error) {
+		s, err := exec.NewMorselScan(m, nil, hint, ms.Tel)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.SetSchema(ms.Schema); err != nil {
+			return nil, err
+		}
+		return s, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	leftSchema := ms.Schema
+	for _, ps := range stages {
+		if ps.src.Table != nil {
+			table, keys := ps.src.Table, ps.leftKeys
+			cur, err = exec.RunBatches(cur, dop, func(_ int, b *colfile.Batch) (exec.Operator, error) {
+				return &exec.Probe{In: exec.NewBatchSource(b), Table: table, LeftKeys: keys, Tel: ms.Tel}, nil
+			})
+		} else {
+			cur, err = ps.src.Spilled.JoinBatches(cur, ps.leftKeys, leftSchema)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if ps.typ != exec.SemiJoin {
+			leftSchema = append(append(colfile.Schema{}, leftSchema...), ps.src.BuildSchema()...)
+		}
+	}
+	return cur, nil
 }
 
 // groupByCoversDistCol reports whether a GROUP BY item names the table's
@@ -508,7 +659,12 @@ func groupByCoversDistCol(st *SelectStmt, distCol, alias string) bool {
 // output order — stays the same for a given Parallelism config. Returns
 // handled=false only for an empty table, which falls back to the serial
 // path.
-func runSelectParallel(tx *core.Txn, st *SelectStmt, meta catalog.TableMeta, hint *exec.PruneHint) (*colfile.Batch, bool, error) {
+// Join build sides are drained under the join memory budget: a build that
+// overflows grace-spills both sides to the query's spill namespace and the
+// join runs partition-wise, producing per-morsel outputs byte-identical to
+// the in-memory probes', so everything downstream of the join stages is
+// unchanged.
+func runSelectParallel(tx *core.Txn, st *SelectStmt, meta catalog.TableMeta, hint *exec.PruneHint, spill *joinSpill) (*colfile.Batch, bool, error) {
 	dop, release := tx.LeaseDOP(tx.Parallelism())
 	defer release()
 	alias := aliasOf(st.From)
@@ -542,24 +698,26 @@ func runSelectParallel(tx *core.Txn, st *SelectStmt, meta catalog.TableMeta, hin
 	}
 	sc := &scope{schema: ms.Schema, quals: quals}
 
-	// Joins: build each right side once into an immutable JoinTable (the
-	// build itself is partition-parallel), extending the scope as the serial
-	// planner would. Per-morsel Probe operators share the tables.
-	type probeStage struct {
-		table    *exec.JoinTable
-		leftKeys []int
-	}
+	// Joins: drain each right side once under the join memory budget —
+	// into an immutable shared JoinTable while it fits (the build itself is
+	// partition-parallel), or into spill partitions when it overflows —
+	// extending the scope as the serial planner would.
 	var stages []probeStage
+	anySpilled := false
 	for _, j := range st.Joins {
 		bj, jsc, err := bindJoin(tx, j, sc)
 		if err != nil {
 			return nil, true, err
 		}
-		table, err := exec.BuildHashJoin(bj.right, bj.rightKeys, bj.typ, tx.Parallelism(), ms.Tel)
+		src, err := exec.BuildGraceJoin(bj.right, bj.rightKeys, bj.typ, tx.Parallelism(), spill.config(bj), ms.Tel)
 		if err != nil {
 			return nil, true, err
 		}
-		stages = append(stages, probeStage{table: table, leftKeys: bj.leftKeys})
+		spill.track(src)
+		if src.Spilled != nil {
+			anySpilled = true
+		}
+		stages = append(stages, probeStage{src: src, leftKeys: bj.leftKeys, typ: bj.typ})
 		sc = jsc
 	}
 
@@ -570,27 +728,60 @@ func runSelectParallel(tx *core.Txn, st *SelectStmt, meta catalog.TableMeta, hin
 			return nil, true, err
 		}
 	}
-	// fragment builds the per-worker plan prefix over one morsel. Bound
-	// expressions and JoinTables are stateless/immutable values, safe to
-	// share across workers; each Probe instance owns its scratch buffers;
-	// the telemetry sink is atomic.
-	fragment := func(m exec.Morsel) (exec.Operator, error) {
-		var op exec.Operator
-		s, err := exec.NewMorselScan(m, nil, hint, ms.Tel)
+	// runFragments fans the embarrassingly parallel tail of the plan out
+	// over the workers and returns per-morsel batches in morsel order. In
+	// the streaming shape (no spilled build) each worker runs
+	// scan→[probe…]→filter→suffix per morsel: bound expressions and
+	// JoinTables are stateless/immutable values, safe to share across
+	// workers; each Probe instance owns its scratch buffers; the telemetry
+	// sink is atomic. When a build spilled, the join stages have already
+	// materialized per-morsel batches (runSpilledJoinStages) and each worker
+	// runs filter→suffix over its batch — the batches are byte-wise what the
+	// streaming probes would have produced, so the downstream plan and its
+	// determinism are unchanged.
+	var runFragments func(suffix func(exec.Operator) (exec.Operator, error)) ([]*colfile.Batch, error)
+	if !anySpilled {
+		fragment := func(m exec.Morsel) (exec.Operator, error) {
+			var op exec.Operator
+			s, err := exec.NewMorselScan(m, nil, hint, ms.Tel)
+			if err != nil {
+				return nil, err
+			}
+			if err := s.SetSchema(ms.Schema); err != nil {
+				return nil, err
+			}
+			op = s
+			for _, ps := range stages {
+				op = &exec.Probe{In: op, Table: ps.src.Table, LeftKeys: ps.leftKeys, Tel: ms.Tel}
+			}
+			if pred != nil {
+				op = &exec.Filter{In: op, Pred: pred, Tel: ms.Tel}
+			}
+			return op, nil
+		}
+		runFragments = func(suffix func(exec.Operator) (exec.Operator, error)) ([]*colfile.Batch, error) {
+			return exec.RunMorsels(ms.Morsels, dop, func(m exec.Morsel) (exec.Operator, error) {
+				op, err := fragment(m)
+				if err != nil {
+					return nil, err
+				}
+				return suffix(op)
+			})
+		}
+	} else {
+		joined, err := runSpilledJoinStages(tx, ms, dop, stages, hint)
 		if err != nil {
-			return nil, err
+			return nil, true, err
 		}
-		if err := s.SetSchema(ms.Schema); err != nil {
-			return nil, err
+		runFragments = func(suffix func(exec.Operator) (exec.Operator, error)) ([]*colfile.Batch, error) {
+			return exec.RunBatches(joined, dop, func(_ int, b *colfile.Batch) (exec.Operator, error) {
+				var op exec.Operator = exec.NewBatchSource(b)
+				if pred != nil {
+					op = &exec.Filter{In: op, Pred: pred, Tel: ms.Tel}
+				}
+				return suffix(op)
+			})
 		}
-		op = s
-		for _, ps := range stages {
-			op = &exec.Probe{In: op, Table: ps.table, LeftKeys: ps.leftKeys, Tel: ms.Tel}
-		}
-		if pred != nil {
-			op = &exec.Filter{In: op, Pred: pred, Tel: ms.Tel}
-		}
-		return op, nil
 	}
 	// schemaSource stands in for the plan prefix when instantiating
 	// prototype operators whose Schema() needs an input schema (sc.schema
@@ -606,11 +797,7 @@ func runSelectParallel(tx *core.Txn, st *SelectStmt, meta catalog.TableMeta, hin
 		if err != nil {
 			return nil, true, err
 		}
-		batches, err := exec.RunMorsels(ms.Morsels, dop, func(m exec.Morsel) (exec.Operator, error) {
-			op, err := fragment(m)
-			if err != nil {
-				return nil, err
-			}
+		batches, err := runFragments(func(op exec.Operator) (exec.Operator, error) {
 			return &exec.HashAgg{In: op, GroupBy: ap.groupBy, Aggs: ap.aggs, Partial: true}, nil
 		})
 		if err != nil {
@@ -635,14 +822,10 @@ func runSelectParallel(tx *core.Txn, st *SelectStmt, meta catalog.TableMeta, hin
 		}
 		proto := &exec.Project{In: schemaSource(), Exprs: exprs, Names: names}
 		if len(st.OrderBy) > 0 {
-			b, err := runParallelOrderBy(tx, st, ms, dop, fragment, exprs, names, proto.Schema())
+			b, err := runParallelOrderBy(tx, st, runFragments, ms.Tel, exprs, names, proto.Schema())
 			return b, true, err
 		}
-		batches, err := exec.RunMorsels(ms.Morsels, dop, func(m exec.Morsel) (exec.Operator, error) {
-			op, err := fragment(m)
-			if err != nil {
-				return nil, err
-			}
+		batches, err := runFragments(func(op exec.Operator) (exec.Operator, error) {
 			return &exec.Project{In: op, Exprs: exprs, Names: names}, nil
 		})
 		if err != nil {
@@ -665,9 +848,9 @@ func runSelectParallel(tx *core.Txn, st *SelectStmt, meta catalog.TableMeta, hin
 // the paper's distributed top-N shape, counted in WorkStats.TopNPushdowns)
 // and the merge cuts off after LIMIT+OFFSET rows, so neither the workers nor
 // the FE ever materialize the full sorted result.
-func runParallelOrderBy(tx *core.Txn, st *SelectStmt, ms *core.MorselScan, dop int,
-	fragment func(exec.Morsel) (exec.Operator, error),
-	exprs []exec.Expr, names []string, outSchema colfile.Schema) (*colfile.Batch, error) {
+func runParallelOrderBy(tx *core.Txn, st *SelectStmt,
+	runFragments func(func(exec.Operator) (exec.Operator, error)) ([]*colfile.Batch, error),
+	tel *exec.Telemetry, exprs []exec.Expr, names []string, outSchema colfile.Schema) (*colfile.Batch, error) {
 	keys, err := orderKeys(st, outSchema)
 	if err != nil {
 		return nil, err
@@ -676,16 +859,12 @@ func runParallelOrderBy(tx *core.Txn, st *SelectStmt, ms *core.MorselScan, dop i
 	if st.Limit >= 0 {
 		bound = st.Limit + st.Offset
 	}
-	batches, err := exec.RunMorsels(ms.Morsels, dop, func(m exec.Morsel) (exec.Operator, error) {
-		op, err := fragment(m)
-		if err != nil {
-			return nil, err
-		}
+	batches, err := runFragments(func(op exec.Operator) (exec.Operator, error) {
 		op = &exec.Project{In: op, Exprs: exprs, Names: names}
 		if bound >= 0 {
-			return &exec.TopN{In: op, Keys: keys, N: bound, Tel: ms.Tel}, nil
+			return &exec.TopN{In: op, Keys: keys, N: bound, Tel: tel}, nil
 		}
-		return &exec.SortRuns{In: op, Keys: keys, Tel: ms.Tel}, nil
+		return &exec.SortRuns{In: op, Keys: keys, Tel: tel}, nil
 	})
 	if err != nil {
 		return nil, err

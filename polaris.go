@@ -62,6 +62,13 @@ type Config struct {
 	// disables parallel execution. The effective degree is capped by the
 	// fabric's free compute slots when the query starts.
 	Parallelism int
+	// JoinMemoryBudget caps, in bytes, the memory a hash-join build side may
+	// occupy. A build that exceeds it takes the grace-join path: both sides
+	// are hash-partitioned into spill files in the object store and joined
+	// partition by partition, with results byte-identical to the in-memory
+	// plan at every Parallelism setting (WorkStats.JoinSpills counts the
+	// spills). 0 (the default) means unlimited: builds never spill.
+	JoinMemoryBudget int64
 	// Distributions is the number of cell buckets of d(r).
 	Distributions int
 	// RowsPerFile / RowsPerGroup control data file layout.
@@ -135,6 +142,7 @@ func Open(cfg Config) *DB {
 	if cfg.Parallelism > 0 {
 		opts.Parallelism = cfg.Parallelism
 	}
+	opts.JoinMemoryBudget = cfg.JoinMemoryBudget
 	if cfg.RowsPerFile > 0 {
 		opts.RowsPerFile = cfg.RowsPerFile
 	}
