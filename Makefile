@@ -6,7 +6,7 @@ GO ?= go
 # Output of the machine-readable micro-benchmark run. Parameterized so each
 # PR bumps one variable (or CI overrides it) instead of editing the target:
 #   make bench-json BENCH_JSON=BENCH_PR5.json
-BENCH_JSON ?= BENCH_PR4.json
+BENCH_JSON ?= BENCH_PR5.json
 
 .PHONY: build lint test race bench-smoke bench-json fuzz-smoke docs ci
 
@@ -29,7 +29,8 @@ test:
 
 # Race-check the morsel-driven parallel executor and the SQL surface that
 # drives it — including the grace-join spill path (root spill_test.go and
-# internal/exec/spill_test.go run tiny-budget spilling joins under -race on
+# internal/exec/spill_test.go run tiny-budget spilling joins, the parallel
+# partition-wise fan-out, and concurrent JoinBatches calls under -race on
 # every push).
 race:
 	$(GO) test -race -short . ./internal/exec/...

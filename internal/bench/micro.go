@@ -248,9 +248,11 @@ const ParallelJoinSpillBudget = 128 << 10
 // ParallelJoinSpill runs the join micro-benchmark through the grace-join
 // spill path: the build side overflows ParallelJoinSpillBudget, both sides
 // are partitioned into an in-memory spill store, and the partition-wise join
-// is merged back into probe-row order. Output is byte-identical to
-// ParallelJoinProbe at every DOP; the ns/op delta against it is the measured
-// cost of spilling (partition, serialize, restore order).
+// — fanned out over dop workers, one depth-0 partition per task — is merged
+// back into probe-row order. Output is byte-identical to ParallelJoinProbe
+// at every DOP; the ns/op delta against it is the measured cost of spilling
+// (partition, serialize, restore order), which now shrinks with DOP on
+// multi-core hardware instead of staying single-threaded.
 func ParallelJoinSpill(files []exec.ScanFile, dop int) (*colfile.Batch, error) {
 	src, err := exec.BuildGraceJoin(exec.NewBatchSource(buildSide()), []int{0}, exec.InnerJoin, dop,
 		exec.SpillConfig{Budget: ParallelJoinSpillBudget, Store: exec.NewMemSpillStore()}, nil)
@@ -279,7 +281,7 @@ func ParallelJoinSpill(files []exec.ScanFile, dop int) (*colfile.Batch, error) {
 	if err != nil {
 		return nil, err
 	}
-	joined, err := src.Spilled.JoinBatches(probes, []int{0}, r.Schema())
+	joined, err := src.Spilled.JoinBatches(probes, []int{0}, r.Schema(), dop)
 	if err != nil {
 		return nil, err
 	}

@@ -146,8 +146,16 @@ type WorkStats struct {
 	JoinSpills atomic.Int64
 	// JoinSpillBytes totals the bytes written to spill namespaces by grace
 	// joins (build and probe partitions, recursive repartitioning included)
-	// — the budget-accounting counterpart of BytesRead.
+	// — the budget-accounting counterpart of BytesRead. Counted per durable
+	// write: a put that fails mid-spill contributes nothing, so the counter
+	// always equals the bytes that actually reached the store.
 	JoinSpillBytes atomic.Int64
+	// JoinSpillPartitions counts the leaf (build, probe) partition pairs
+	// grace joins actually joined — the independent tasks the partition-wise
+	// fan-out runs on the worker pool, recursion included; partitions with
+	// no probe rows are skipped and not counted. Deterministic for a fixed
+	// snapshot, budget and fanout, so tests assert on this counter.
+	JoinSpillPartitions atomic.Int64
 }
 
 // Snapshot returns a plain-values copy of the counters.

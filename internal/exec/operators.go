@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -411,8 +412,19 @@ func (u *UnionAll) Next() (*colfile.Batch, error) {
 
 // Collect drains an operator into a single batch.
 func Collect(op Operator) (*colfile.Batch, error) {
+	return CollectCtx(context.Background(), op)
+}
+
+// CollectCtx drains an operator into a single batch, checking ctx between
+// batches: when a sibling unit of a ForEachIndexed pool fails (or the caller
+// cancels), the drain stops at the next batch boundary instead of paying the
+// remaining scan/probe/spill cost of a doomed plan fragment.
+func CollectCtx(ctx context.Context, op Operator) (*colfile.Batch, error) {
 	out := colfile.NewBatch(op.Schema())
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		b, err := op.Next()
 		if err != nil {
 			return nil, err

@@ -27,6 +27,16 @@
 // reproduce a serial stable sort byte-for-byte at every DOP: NULLs first
 // ascending / last descending, DESC keys, and ties by input order.
 //
+// Every fan-out above runs on one worker-pool primitive, ForEachIndexed:
+// workers claim indexes from a shared queue, and the first failure cancels a
+// context the in-flight units observe (CollectCtx checks it between batches),
+// so a failed unit stops its siblings at their next batch boundary instead of
+// letting them drain doomed scans, probes and spill writes to completion.
+// Spilled joins (spill.go) reuse the same primitive to fan the partition-wise
+// grace join out over depth-0 partitions, with the nested hash-join build
+// parallelism capped so the partition tasks and their inner builds together
+// stay within the configured Parallelism.
+//
 // The full cross-DOP determinism contract — what is byte-identical, what is
 // merely deterministic per Parallelism setting, and the float caveats — is
 // specified normatively in docs/ARCHITECTURE.md; this comment and that file
@@ -34,6 +44,7 @@
 package exec
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -111,29 +122,32 @@ func NewMorselScan(m Morsel, cols []string, hint *PruneHint, tel *Telemetry) (*S
 // DefaultDOP returns the default degree of parallelism: GOMAXPROCS.
 func DefaultDOP() int { return runtime.GOMAXPROCS(0) }
 
-// RunMorsels fans the morsels out over a pool of dop workers. For each morsel
-// the builder constructs the per-worker plan fragment (typically
-// scan→filter→project or scan→filter→partial-agg); the fragment's output is
-// collected into one batch per morsel. Results are returned in morsel order,
-// which is what makes the downstream merge deterministic. A nil batch is
-// returned for morsels that produced no rows.
-func RunMorsels(morsels []Morsel, dop int, build func(m Morsel) (Operator, error)) ([]*colfile.Batch, error) {
+// ForEachIndexed is the engine's single worker-pool primitive: it fans the
+// indexes [0, n) out over a pool of min(dop, n) workers, each worker claiming
+// the next unclaimed index until the range is exhausted. Cancellation is
+// context-based and flows both ways: the caller's ctx cancels the pool, and
+// the first failing unit cancels a derived context handed to every work
+// function — so in-flight units can stop at their next check (CollectCtx does
+// this between batches) instead of draining a doomed scan, probe or spill
+// write to completion. Workers also re-check the context before claiming the
+// next index. Returns the first error (unit failure or ctx cancellation).
+func ForEachIndexed(ctx context.Context, n, dop int, work func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
 	if dop < 1 {
 		dop = 1
 	}
-	if dop > len(morsels) {
-		dop = len(morsels)
+	if dop > n {
+		dop = n
 	}
-	results := make([]*colfile.Batch, len(morsels))
-	if len(morsels) == 0 {
-		return results, nil
-	}
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	var (
-		next   atomic.Int64
-		failed atomic.Bool
-		mu     sync.Mutex
-		first  error
-		wg     sync.WaitGroup
+		next  atomic.Int64
+		mu    sync.Mutex
+		first error
+		wg    sync.WaitGroup
 	)
 	fail := func(err error) {
 		mu.Lock()
@@ -141,7 +155,7 @@ func RunMorsels(morsels []Morsel, dop int, build func(m Morsel) (Operator, error
 			first = err
 		}
 		mu.Unlock()
-		failed.Store(true)
+		cancel()
 	}
 	for w := 0; w < dop; w++ {
 		wg.Add(1)
@@ -149,30 +163,68 @@ func RunMorsels(morsels []Morsel, dop int, build func(m Morsel) (Operator, error
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(morsels) || failed.Load() {
+				if i >= n || wctx.Err() != nil {
 					return
 				}
-				op, err := build(morsels[i])
-				if err != nil {
+				if err := work(wctx, i); err != nil {
 					fail(err)
 					return
-				}
-				b, err := Collect(op)
-				if err != nil {
-					fail(err)
-					return
-				}
-				if b != nil && b.NumRows() > 0 {
-					results[i] = b
 				}
 			}
 		}()
 	}
 	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
 	if first != nil {
-		return nil, first
+		return first
+	}
+	return ctx.Err()
+}
+
+// RunIndexed runs one operator per index over the ForEachIndexed pool and
+// collects each operator's output into results[i] — the generic indexed
+// fan-out behind RunMorsels and RunBatches. A (nil, nil) return from build
+// skips the index (its result stays nil); an index that produces no rows also
+// yields nil. Results are indexed by input position, never completion order,
+// which is what makes the downstream merges deterministic. Operator execution
+// observes ctx (and the pool's first-failure cancellation) between batches
+// via CollectCtx.
+func RunIndexed(ctx context.Context, n, dop int, build func(i int) (Operator, error)) ([]*colfile.Batch, error) {
+	results := make([]*colfile.Batch, n)
+	err := ForEachIndexed(ctx, n, dop, func(ctx context.Context, i int) error {
+		op, err := build(i)
+		if err != nil {
+			return err
+		}
+		if op == nil {
+			return nil
+		}
+		b, err := CollectCtx(ctx, op)
+		if err != nil {
+			return err
+		}
+		if b != nil && b.NumRows() > 0 {
+			results[i] = b
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return results, nil
+}
+
+// RunMorsels fans the morsels out over a pool of dop workers. For each morsel
+// the builder constructs the per-worker plan fragment (typically
+// scan→filter→project or scan→filter→partial-agg); the fragment's output is
+// collected into one batch per morsel. Results are returned in morsel order,
+// which is what makes the downstream merge deterministic. A nil batch is
+// returned for morsels that produced no rows. Thin wrapper over RunIndexed.
+func RunMorsels(morsels []Morsel, dop int, build func(m Morsel) (Operator, error)) ([]*colfile.Batch, error) {
+	return RunIndexed(context.Background(), len(morsels), dop, func(i int) (Operator, error) {
+		return build(morsels[i])
+	})
 }
 
 // RunBatches fans pre-materialized per-morsel batches out over a pool of dop
@@ -181,66 +233,14 @@ func RunMorsels(morsels []Morsel, dop int, build func(m Morsel) (Operator, error
 // remaining plan fragment (filter, project, partial aggregation, sorted runs)
 // over those batches with the same morsel-indexed determinism. Nil input
 // batches yield nil outputs at the same index; results are returned in input
-// order regardless of completion order.
+// order regardless of completion order. Thin wrapper over RunIndexed.
 func RunBatches(batches []*colfile.Batch, dop int, build func(i int, b *colfile.Batch) (Operator, error)) ([]*colfile.Batch, error) {
-	if dop < 1 {
-		dop = 1
-	}
-	if dop > len(batches) {
-		dop = len(batches)
-	}
-	results := make([]*colfile.Batch, len(batches))
-	if len(batches) == 0 {
-		return results, nil
-	}
-	var (
-		next   atomic.Int64
-		failed atomic.Bool
-		mu     sync.Mutex
-		first  error
-		wg     sync.WaitGroup
-	)
-	fail := func(err error) {
-		mu.Lock()
-		if first == nil {
-			first = err
+	return RunIndexed(context.Background(), len(batches), dop, func(i int) (Operator, error) {
+		if batches[i] == nil || batches[i].NumRows() == 0 {
+			return nil, nil
 		}
-		mu.Unlock()
-		failed.Store(true)
-	}
-	for w := 0; w < dop; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(batches) || failed.Load() {
-					return
-				}
-				if batches[i] == nil || batches[i].NumRows() == 0 {
-					continue
-				}
-				op, err := build(i, batches[i])
-				if err != nil {
-					fail(err)
-					return
-				}
-				b, err := Collect(op)
-				if err != nil {
-					fail(err)
-					return
-				}
-				if b != nil && b.NumRows() > 0 {
-					results[i] = b
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	if first != nil {
-		return nil, first
-	}
-	return results, nil
+		return build(i, batches[i])
+	})
 }
 
 // BatchList replays a sequence of pre-materialized batches in order: the

@@ -1,8 +1,10 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"polaris/internal/colfile"
@@ -251,5 +253,98 @@ func TestRunMorselsPropagatesErrors(t *testing.T) {
 	})
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+// slowInfiniteOp emits tiny batches forever (up to a regression cap): without
+// cooperative cancellation, draining it never finishes. nextCalls counts Next
+// invocations so tests can prove the drain stopped early.
+type slowInfiniteOp struct {
+	schema colfile.Schema
+	calls  int
+}
+
+func (s *slowInfiniteOp) Schema() colfile.Schema { return s.schema }
+
+func (s *slowInfiniteOp) Next() (*colfile.Batch, error) {
+	s.calls++
+	if s.calls > 1_000_000 {
+		return nil, errors.New("slowInfiniteOp drained to the cap: cancellation did not propagate")
+	}
+	b := colfile.NewBatch(s.schema)
+	if err := b.AppendRow(int64(s.calls)); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// TestRunIndexedCancelsInflightUnits pins the cancellation bugfix: when one
+// unit fails, a sibling already draining its operator must stop at the next
+// batch boundary (CollectCtx observes the pool's cancelled context) instead
+// of draining to completion — previously only un-started units were skipped,
+// so an in-flight worker paid its full scan/probe/spill cost after the query
+// was already doomed.
+func TestRunIndexedCancelsInflightUnits(t *testing.T) {
+	schema := colfile.Schema{{Name: "x", Type: colfile.Int64}}
+	boom := errors.New("boom")
+	started := make(chan struct{})
+	_, err := RunIndexed(context.Background(), 2, 2, func(i int) (Operator, error) {
+		if i == 0 {
+			// Fail only once the sibling is provably mid-drain.
+			<-started
+			return nil, boom
+		}
+		op := &slowInfiniteOp{schema: schema}
+		close(started)
+		return op, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom (infinite sibling must be cancelled, not drained)", err)
+	}
+}
+
+// TestForEachIndexedHonorsCallerContext pins that a cancelled caller context
+// stops the pool before (or mid-way through) the work and surfaces the
+// cancellation error.
+func TestForEachIndexedHonorsCallerContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	err := ForEachIndexed(ctx, 8, 4, func(_ context.Context, i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n != 0 {
+		t.Fatalf("%d units ran under a pre-cancelled context", n)
+	}
+}
+
+// TestRunBatchesSkipsNilEntries pins the wrapper contract RunIndexed inherits
+// from the old RunBatches: nil and empty input batches yield nil outputs at
+// the same index without invoking the builder.
+func TestRunBatchesSkipsNilEntries(t *testing.T) {
+	schema := colfile.Schema{{Name: "x", Type: colfile.Int64}}
+	full := colfile.NewBatch(schema)
+	if err := full.AppendRow(int64(7)); err != nil {
+		t.Fatal(err)
+	}
+	in := []*colfile.Batch{nil, colfile.NewBatch(schema), full}
+	outs, err := RunBatches(in, 4, func(i int, b *colfile.Batch) (Operator, error) {
+		if i != 2 {
+			return nil, fmt.Errorf("builder invoked for skippable index %d", i)
+		}
+		return NewBatchSource(b), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0] != nil || outs[1] != nil {
+		t.Fatalf("nil/empty inputs produced non-nil outputs: %v", outs[:2])
+	}
+	if outs[2] == nil || outs[2].NumRows() != 1 {
+		t.Fatalf("live input lost: %v", outs[2])
 	}
 }

@@ -11,8 +11,8 @@ package exec
 
 import (
 	"bytes"
+	"context"
 	"sort"
-	"sync"
 
 	"polaris/internal/colfile"
 )
@@ -348,18 +348,14 @@ func (m *MergeRuns) Next() (*colfile.Batch, error) {
 		}
 		m.pos = make([]int, len(m.runs))
 		// RunMorsels ships only batches, so the runs' keys are re-encoded
-		// here — concurrently, one goroutine per run, as the last parallel
-		// stage before the inherently serial merge.
+		// here — fanned over the shared ForEachIndexed pool, one unit per
+		// run, as the last parallel stage before the inherently serial
+		// merge. Encoding is infallible, so the error is statically nil.
 		m.ek = make([]encodedKeys, len(m.runs))
-		var wg sync.WaitGroup
-		for i, r := range m.runs {
-			wg.Add(1)
-			go func(i int, r *colfile.Batch) {
-				defer wg.Done()
-				m.ek[i] = encodeSortKeys(r, m.keys)
-			}(i, r)
-		}
-		wg.Wait()
+		_ = ForEachIndexed(context.Background(), len(m.runs), len(m.runs), func(_ context.Context, i int) error {
+			m.ek[i] = encodeSortKeys(m.runs[i], m.keys)
+			return nil
+		})
 		m.lt = newLoserTree(len(m.runs), m.runLess)
 	}
 	out := colfile.NewBatch(m.runs[0].Schema)

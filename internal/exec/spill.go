@@ -2,20 +2,31 @@ package exec
 
 // Grace hash-join spilling: when a join's build side exceeds the configured
 // memory budget, both sides are hash-partitioned into spill files written
-// through the (simulated) object store and the join runs partition by
-// partition with the ordinary in-memory JoinTable+Probe machinery. Probe rows
-// carry their global row ordinal through the spill files, and the partition
-// outputs are merged back into probe-row order, so a spilled join's output is
-// byte-identical to the in-memory join's at every degree of parallelism and
-// every budget setting (see docs/ARCHITECTURE.md, "Cross-DOP determinism
-// contract"). Skewed partitions that still exceed the budget are recursively
-// repartitioned with a depth-seeded hash; a partition a recursion cannot
-// shrink (a single hot key) is joined in memory as a last resort.
+// through the (simulated) object store and the join runs partition-wise with
+// the ordinary in-memory JoinTable+Probe machinery. The depth-0 partitions
+// are independent work units, so JoinBatches fans them out over the same
+// ForEachIndexed worker pool that runs morsels, with the nested BuildHashJoin
+// parallelism capped to parallelism/dop so partition tasks and their inner
+// builds together stay within the configured Parallelism. Probe rows carry
+// their global row ordinal through the spill files, and the partition outputs
+// — concatenated in partition order, then merged by ordinal — restore global
+// probe-row order, so a spilled join's output is byte-identical to the
+// in-memory join's at every degree of parallelism and every budget setting
+// (see docs/ARCHITECTURE.md, "Cross-DOP determinism contract"). Skewed
+// partitions that still exceed the budget are recursively repartitioned with
+// a depth-seeded hash; a partition a recursion cannot shrink (a single hot
+// key) is joined in memory as a last resort.
+//
+// Probe-side spill files are namespaced per JoinBatches call (l/cNNN/d0),
+// so re-probing the same spilled build — or probing it from two goroutines
+// concurrently — never lists a previous call's leaf files.
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"polaris/internal/colfile"
 )
@@ -121,9 +132,78 @@ type SpilledJoin struct {
 	// recursive repartitioning.
 	partMem []int64
 
+	// probeCalls numbers JoinBatches calls so each call's probe-side spill
+	// files live in their own namespace (l/cNNN/...): a second or concurrent
+	// call must never list a previous call's leaf files.
+	probeCalls atomic.Int64
+
+	// buildReparts memoizes build-side recursive repartitions per directory.
+	// The build namespace is shared across JoinBatches calls (unlike the
+	// probe side, its contents are call-independent), so an over-budget
+	// partition is split exactly once: later and concurrent calls reuse the
+	// sub-partition files and their memory estimates instead of re-reading
+	// and rewriting them — which also keeps SpillBytes from multi-counting
+	// the same build bytes.
+	repartMu     sync.Mutex
+	buildReparts map[string]*buildRepart
+
 	mu           sync.Mutex
 	bytesWritten int64
 	filesWritten int64
+	partsJoined  int64
+	// written records every spill file name already accounted. Spill file
+	// content is a deterministic function of its name, so a rewrite (a
+	// repartition retried after a failed put) overwrites identical bytes —
+	// counting only the first write keeps SpillBytes equal to the bytes
+	// actually resident in the store.
+	written map[string]struct{}
+}
+
+// buildRepart is one memoized build-side repartition: sem (a one-slot
+// semaphore, waitable alongside ctx.Done) serializes the spill I/O, mem
+// holds the resulting per-sub-partition memory estimates once done. Only
+// success is memoized — a failed or cancelled attempt leaves the entry
+// retryable, so one doomed call cannot poison a later one (retries rewrite
+// the same deterministic bytes to the same names).
+type buildRepart struct {
+	sem  chan struct{}
+	done bool
+	mem  []int64
+}
+
+// repartitionBuild splits buildDir's leaf files into depth-seeded
+// sub-partitions at most once per SpilledJoin, however many (possibly
+// concurrent) JoinBatches calls reach the same over-budget partition: later
+// callers reuse the sub-partition files and memory estimates instead of
+// re-reading and rewriting them. Waiting for a concurrent caller's
+// repartition observes ctx, so a cancelled task unwinds instead of blocking
+// behind a sibling call's latency-modeled I/O.
+func (sj *SpilledJoin) repartitionBuild(ctx context.Context, buildDir string, part PartitionFunc) ([]int64, error) {
+	sj.repartMu.Lock()
+	r, ok := sj.buildReparts[buildDir]
+	if !ok {
+		if sj.buildReparts == nil {
+			sj.buildReparts = make(map[string]*buildRepart)
+		}
+		r = &buildRepart{sem: make(chan struct{}, 1)}
+		sj.buildReparts[buildDir] = r
+	}
+	sj.repartMu.Unlock()
+	select {
+	case r.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-r.sem }()
+	if r.done {
+		return r.mem, nil
+	}
+	bw := newSpillWriter(sj, buildDir, sj.buildSchema, defaultSpillFanout)
+	if err := sj.repartition(ctx, buildDir, sj.buildSchema, sj.buildKeys, part, bw); err != nil {
+		return nil, err
+	}
+	r.mem, r.done = bw.mem, true
+	return r.mem, nil
 }
 
 // SpillBytes returns the total bytes written to the spill store so far
@@ -144,13 +224,29 @@ func (sj *SpilledJoin) SpillFiles() int64 {
 // Partitions returns the depth-0 partition count.
 func (sj *SpilledJoin) Partitions() int { return sj.fanout }
 
+// PartitionsJoined returns how many (build, probe) partition pairs have been
+// joined so far — the leaf tasks of the partition-wise fan-out, recursion
+// included. Deterministic for a fixed build, probe and budget, so tests (and
+// WorkStats.JoinSpillPartitions) assert on it.
+func (sj *SpilledJoin) PartitionsJoined() int64 {
+	sj.mu.Lock()
+	defer sj.mu.Unlock()
+	return sj.partsJoined
+}
+
 func (sj *SpilledJoin) put(name string, data []byte) error {
 	if err := sj.store.Put(name, data); err != nil {
 		return fmt.Errorf("exec: spill write %s: %w", name, err)
 	}
 	sj.mu.Lock()
-	sj.bytesWritten += int64(len(data))
-	sj.filesWritten++
+	if _, dup := sj.written[name]; !dup {
+		if sj.written == nil {
+			sj.written = make(map[string]struct{})
+		}
+		sj.written[name] = struct{}{}
+		sj.bytesWritten += int64(len(data))
+		sj.filesWritten++
+	}
 	sj.mu.Unlock()
 	return nil
 }
@@ -205,7 +301,6 @@ func (w *spillWriter) flush(p int) error {
 	if buf.NumRows() == 0 {
 		return nil
 	}
-	w.mem[p] += w.bufMem[p]
 	data, err := colfile.MarshalBatch(buf)
 	if err != nil {
 		return err
@@ -215,6 +310,10 @@ func (w *spillWriter) flush(p int) error {
 	if err := w.sj.put(name, data); err != nil {
 		return err
 	}
+	// Accounting strictly follows the durable write: a put that fails
+	// mid-finish must leave mem[p] — like sj.put's SpillBytes, which feeds
+	// WorkStats.JoinSpillBytes — reflecting only bytes actually in the store.
+	w.mem[p] += w.bufMem[p]
 	w.bufs[p] = colfile.NewBatch(w.schema)
 	w.bufMem[p] = 0
 	return nil
@@ -382,12 +481,16 @@ func (sj *SpilledJoin) readSpillFiles(dir string) ([]*colfile.Batch, error) {
 // JoinBatches joins per-morsel probe batches (nil entries allowed) against
 // the spilled build side and returns per-morsel outputs whose concatenation
 // is byte-identical to probing an in-memory JoinTable morsel by morsel:
-// probe-row order globally, matches in build-row order within a row. probe
-// rows are partitioned with the build side's partitioner, each partition is
-// joined independently (recursively repartitioned while its build side still
-// exceeds the budget), and the partition outputs — each ascending in the
+// probe-row order globally, matches in build-row order within a row. Probe
+// rows are partitioned with the build side's partitioner into a namespace
+// private to this call (so the build may be re-probed, even concurrently),
+// then the depth-0 partitions — independent work units — are joined over a
+// ForEachIndexed pool of dop workers (recursively repartitioned while a
+// build side still exceeds the budget), each leaf join's inner BuildHashJoin
+// capped to parallelism/dop workers so the fan-out as a whole stays within
+// the configured Parallelism. The partition outputs — each ascending in the
 // carried row ordinal — are merged back into global row order.
-func (sj *SpilledJoin) JoinBatches(probe []*colfile.Batch, leftKeys []int, leftSchema colfile.Schema) ([]*colfile.Batch, error) {
+func (sj *SpilledJoin) JoinBatches(probe []*colfile.Batch, leftKeys []int, leftSchema colfile.Schema, dop int) ([]*colfile.Batch, error) {
 	// Global row ordinals: offsets[i] is the first ordinal of morsel i.
 	offsets := make([]int64, len(probe)+1)
 	for i, b := range probe {
@@ -398,10 +501,12 @@ func (sj *SpilledJoin) JoinBatches(probe []*colfile.Batch, leftKeys []int, leftS
 		offsets[i+1] = offsets[i] + n
 	}
 
-	// Partition the probe side, each row extended with its ordinal.
+	// Partition the probe side, each row extended with its ordinal, into
+	// this call's own namespace.
+	probeRoot := fmt.Sprintf("l/c%03d/d0", sj.probeCalls.Add(1)-1)
 	spillSchema := append(append(colfile.Schema{}, leftSchema...), rowNumField)
 	rowNumIdx := len(leftSchema)
-	w := newSpillWriter(sj, "l/d0", spillSchema, sj.fanout)
+	w := newSpillWriter(sj, probeRoot, spillSchema, sj.fanout)
 	for i, b := range probe {
 		if b == nil {
 			continue
@@ -438,12 +543,53 @@ func (sj *SpilledJoin) JoinBatches(probe []*colfile.Batch, leftKeys []int, leftS
 		return nil, err
 	}
 
-	// Join each partition, recursing while the build side exceeds budget.
-	var leaves []*colfile.Batch
+	// Join the depth-0 partitions — independent (build, probe) pairs — over
+	// the shared worker pool, recursing while a build side exceeds budget.
+	// Each partition collects its leaves privately; concatenating them in
+	// partition order afterwards reproduces the serial depth-first leaf
+	// order exactly, so the fan-out cannot perturb the merge below. The
+	// inner hash-join builds are capped so partition tasks × build workers
+	// stays within the configured parallelism.
+	// Partitions with no probe rows exit their task immediately, so size the
+	// pool (and with it the nested-build share below) by the live partitions
+	// only: a fully skewed probe (one hot partition) then gets the whole
+	// Parallelism for its inner build instead of idling dop-1 workers.
+	live := 0
 	for p := 0; p < sj.fanout; p++ {
-		if err := sj.joinPartition(partDir("b/d0", p), partDir("l/d0", p), sj.partMem[p], 0, leftKeys, spillSchema, &leaves); err != nil {
-			return nil, err
+		if w.rows[p] > 0 {
+			live++
 		}
+	}
+	if live < 1 {
+		live = 1
+	}
+	effDop := dop
+	if effDop < 1 {
+		effDop = 1
+	}
+	if effDop > live {
+		effDop = live
+	}
+	// Never more partition tasks than the configured parallelism: the cap
+	// effDop × buildPar ≤ Parallelism must hold even when the caller's dop
+	// exceeds it.
+	if sj.parallelism > 0 && effDop > sj.parallelism {
+		effDop = sj.parallelism
+	}
+	buildPar := sj.parallelism / effDop
+	if buildPar < 1 {
+		buildPar = 1
+	}
+	partLeaves := make([][]*colfile.Batch, sj.fanout)
+	err := ForEachIndexed(context.Background(), sj.fanout, effDop, func(ctx context.Context, p int) error {
+		return sj.joinPartition(ctx, partDir("b/d0", p), partDir(probeRoot, p), sj.partMem[p], 0, buildPar, leftKeys, spillSchema, &partLeaves[p])
+	})
+	if err != nil {
+		return nil, err
+	}
+	var leaves []*colfile.Batch
+	for _, pl := range partLeaves {
+		leaves = append(leaves, pl...)
 	}
 
 	// Merge leaf outputs into global probe-row order. Every probe row lives
@@ -497,49 +643,62 @@ func (sj *SpilledJoin) JoinBatches(probe []*colfile.Batch, leftKeys []int, leftS
 	return outs, nil
 }
 
-// joinPartition joins one (build, probe) partition pair. While the build
-// side's in-memory estimate exceeds the budget and depth remains, both sides
-// are repartitioned with the next depth's seeded hash and the sub-partitions
-// recurse; otherwise the partition is joined in memory (for a single hot key
-// recursion cannot split, this is the documented last resort).
-func (sj *SpilledJoin) joinPartition(buildDir, probeDir string, buildMem int64, depth int, leftKeys []int, probeSchema colfile.Schema, leaves *[]*colfile.Batch) error {
+// joinPartition joins one (build, probe) partition pair as a unit of the
+// partition-wise fan-out: buildPar caps the inner BuildHashJoin's worker
+// count, and ctx (cancelled when a sibling partition fails) is observed
+// between spill files and batches so a doomed partition stops paying
+// object-store reads and writes early. While the build side's in-memory
+// estimate exceeds the budget and depth remains, both sides are repartitioned
+// with the next depth's seeded hash and the sub-partitions recurse (serially,
+// within this partition's task); otherwise the partition is joined in memory
+// (for a single hot key recursion cannot split, this is the documented last
+// resort).
+func (sj *SpilledJoin) joinPartition(ctx context.Context, buildDir, probeDir string, buildMem int64, depth, buildPar int, leftKeys []int, probeSchema colfile.Schema, leaves *[]*colfile.Batch) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	probeNames := sj.store.List(probeDir + "/f")
+	if len(probeNames) == 0 {
+		// No probe rows: nothing can match, so skip the build side entirely
+		// — including an over-budget build's recursive repartition I/O.
+		return nil
+	}
 	if buildMem > sj.budget && depth+1 < maxSpillDepth {
 		next := hashPartitioner(depth+1, defaultSpillFanout)
-		bw := newSpillWriter(sj, buildDir, sj.buildSchema, defaultSpillFanout)
-		if err := sj.repartition(buildDir, sj.buildSchema, sj.buildKeys, next, bw); err != nil {
+		subMem, err := sj.repartitionBuild(ctx, buildDir, next)
+		if err != nil {
 			return err
 		}
 		lw := newSpillWriter(sj, probeDir, probeSchema, defaultSpillFanout)
-		if err := sj.repartition(probeDir, probeSchema, leftKeys, next, lw); err != nil {
+		if err := sj.repartition(ctx, probeDir, probeSchema, leftKeys, next, lw); err != nil {
 			return err
 		}
 		for p := 0; p < defaultSpillFanout; p++ {
-			if err := sj.joinPartition(partDir(buildDir, p), partDir(probeDir, p), bw.mem[p], depth+1, leftKeys, probeSchema, leaves); err != nil {
+			if err := sj.joinPartition(ctx, partDir(buildDir, p), partDir(probeDir, p), subMem[p], depth+1, buildPar, leftKeys, probeSchema, leaves); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
 
-	probeNames := sj.store.List(probeDir + "/f")
-	if len(probeNames) == 0 {
-		return nil // no probe rows: skip the build-side reads entirely
-	}
 	buildBatches, err := sj.readSpillFiles(buildDir)
 	if err != nil {
 		return err
 	}
-	jt, err := BuildHashJoin(NewBatchList(sj.buildSchema, buildBatches), sj.buildKeys, sj.typ, sj.parallelism, nil)
+	jt, err := BuildHashJoin(NewBatchList(sj.buildSchema, buildBatches), sj.buildKeys, sj.typ, buildPar, nil)
 	if err != nil {
 		return err
 	}
-	out, err := Collect(&Probe{
+	out, err := CollectCtx(ctx, &Probe{
 		In:    &spillFileSource{store: sj.store, names: probeNames, schema: probeSchema},
 		Table: jt, LeftKeys: leftKeys, Tel: sj.tel,
 	})
 	if err != nil {
 		return err
 	}
+	sj.mu.Lock()
+	sj.partsJoined++
+	sj.mu.Unlock()
 	if out.NumRows() > 0 {
 		*leaves = append(*leaves, out)
 	}
@@ -549,9 +708,13 @@ func (sj *SpilledJoin) joinPartition(buildDir, probeDir string, buildMem int64, 
 // repartition redistributes a partition's leaf files into sub-partitions
 // under the same directory using the next level's partitioner, preserving
 // row order within every sub-partition (files are read in name order — write
-// order — and rows split stably).
-func (sj *SpilledJoin) repartition(dir string, schema colfile.Schema, keys []int, part PartitionFunc, w *spillWriter) error {
+// order — and rows split stably). ctx is checked per input file, so a
+// cancelled partition task stops its doomed spill reads and writes early.
+func (sj *SpilledJoin) repartition(ctx context.Context, dir string, schema colfile.Schema, keys []int, part PartitionFunc, w *spillWriter) error {
 	for _, name := range sj.store.List(dir + "/f") {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		data, err := sj.store.Get(name)
 		if err != nil {
 			return fmt.Errorf("exec: spill read %s: %w", name, err)
@@ -612,7 +775,7 @@ func (p *SpilledProbe) Next() (*colfile.Batch, error) {
 	if err != nil {
 		return nil, err
 	}
-	outs, err := p.Join.JoinBatches([]*colfile.Batch{in}, p.LeftKeys, p.In.Schema())
+	outs, err := p.Join.JoinBatches([]*colfile.Batch{in}, p.LeftKeys, p.In.Schema(), p.Join.parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -677,4 +840,16 @@ func (m *MemSpillStore) Count() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return len(m.blobs)
+}
+
+// TotalBytes returns the total size of all stored spill files — the durable
+// bytes the fault tests reconcile SpillBytes against after a failed put.
+func (m *MemSpillStore) TotalBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n int64
+	for _, b := range m.blobs {
+		n += int64(len(b))
+	}
+	return n
 }

@@ -8,6 +8,7 @@ package exec
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"polaris/internal/colfile"
@@ -104,7 +105,7 @@ func spilledResult(t *testing.T, build *colfile.Batch, probe []*colfile.Batch, t
 	if src.Spilled == nil {
 		t.Fatalf("build of %d bytes did not spill under budget %d", build.MemSize(), cfg.Budget)
 	}
-	outs, err := src.Spilled.JoinBatches(probe, leftKeys, probe[0].Schema)
+	outs, err := src.Spilled.JoinBatches(probe, leftKeys, probe[0].Schema, 4)
 	if err != nil {
 		t.Fatalf("spilled join: %v", err)
 	}
@@ -233,6 +234,144 @@ func TestGraceJoinMultiColumnStringKeys(t *testing.T) {
 	}
 }
 
+// TestSpilledJoinReuse is the regression test for the fixed-prefix bug: a
+// second JoinBatches call on the same SpilledJoin used to list the first
+// call's probe-side leaf files (both wrote under l/d0) and silently emit
+// duplicated rows. Probe spills are now namespaced per call, so every call
+// must reproduce the in-memory reference exactly.
+func TestSpilledJoinReuse(t *testing.T) {
+	build := buildSideBatch(600)
+	probe := probeSideBatches(400, 5)
+	want := inMemoryReference(t, build, probe, InnerJoin, []int{0}, []int{0})
+	store := NewMemSpillStore()
+	src, err := BuildGraceJoin(NewBatchSource(build), []int{0}, InnerJoin, 4,
+		SpillConfig{Budget: 2048, Store: store}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Spilled == nil {
+		t.Fatal("expected a spilled build")
+	}
+	for call := 0; call < 3; call++ {
+		outs, err := src.Spilled.JoinBatches(probe, []int{0}, probe[0].Schema, 4)
+		if err != nil {
+			t.Fatalf("call %d: %v", call, err)
+		}
+		for i, b := range outs {
+			got := emptyRender(probe[i])
+			if b != nil {
+				got = renderSpillBatch(b)
+			}
+			if got != want[i] {
+				t.Fatalf("call %d morsel %d differs from in-memory (stale leaf files reused?):\ngot:\n%s\nwant:\n%s",
+					call, i, got, want[i])
+			}
+		}
+	}
+}
+
+// TestSpilledJoinConcurrentCalls drives two JoinBatches calls against the
+// same spilled build from concurrent goroutines (run under -race in CI):
+// per-call probe namespaces must keep the calls from reading each other's
+// leaf files, and both must match the in-memory reference.
+func TestSpilledJoinConcurrentCalls(t *testing.T) {
+	build := buildSideBatch(600)
+	probe := probeSideBatches(400, 5)
+	want := inMemoryReference(t, build, probe, InnerJoin, []int{0}, []int{0})
+	src, err := BuildGraceJoin(NewBatchSource(build), []int{0}, InnerJoin, 4,
+		SpillConfig{Budget: 2048, Store: NewMemSpillStore()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Spilled == nil {
+		t.Fatal("expected a spilled build")
+	}
+	const callers = 4
+	errs := make([]error, callers)
+	got := make([][]string, callers)
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			outs, err := src.Spilled.JoinBatches(probe, []int{0}, probe[0].Schema, 2)
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			got[c] = make([]string, len(outs))
+			for i, b := range outs {
+				if b == nil {
+					got[c][i] = emptyRender(probe[i])
+				} else {
+					got[c][i] = renderSpillBatch(b)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	for c := 0; c < callers; c++ {
+		if errs[c] != nil {
+			t.Fatalf("caller %d: %v", c, errs[c])
+		}
+		for i := range want {
+			if got[c][i] != want[i] {
+				t.Fatalf("caller %d morsel %d differs from in-memory:\ngot:\n%s\nwant:\n%s", c, i, got[c][i], want[i])
+			}
+		}
+	}
+}
+
+// TestSpilledJoinDopInvariant pins the partition-wise fan-out's determinism
+// contract directly at the exec layer: for the same build and probe, every
+// (dop, nested-cap) combination must produce byte-identical outputs and join
+// the same number of partition pairs — fanning the partitions out moves work
+// between workers, never between partitions.
+func TestSpilledJoinDopInvariant(t *testing.T) {
+	build := buildSideBatch(600)
+	probe := probeSideBatches(400, 5)
+	var wantRender []string
+	var wantParts int64
+	for _, dop := range []int{1, 2, 4, 16} { // 16 > fanout: dop must clamp
+		src, err := BuildGraceJoin(NewBatchSource(build), []int{0}, LeftOuterJoin, 4,
+			SpillConfig{Budget: 2048, Store: NewMemSpillStore()}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if src.Spilled == nil {
+			t.Fatal("expected a spilled build")
+		}
+		outs, err := src.Spilled.JoinBatches(probe, []int{0}, probe[0].Schema, dop)
+		if err != nil {
+			t.Fatalf("dop=%d: %v", dop, err)
+		}
+		render := make([]string, len(outs))
+		for i, b := range outs {
+			if b == nil {
+				render[i] = emptyRender(probe[i])
+			} else {
+				render[i] = renderSpillBatch(b)
+			}
+		}
+		parts := src.Spilled.PartitionsJoined()
+		if parts == 0 {
+			t.Fatalf("dop=%d: no partitions joined", dop)
+		}
+		if wantRender == nil {
+			wantRender, wantParts = render, parts
+			continue
+		}
+		for i := range wantRender {
+			if render[i] != wantRender[i] {
+				t.Fatalf("dop=%d morsel %d differs from dop=1:\ngot:\n%s\nwant:\n%s", dop, i, render[i], wantRender[i])
+			}
+		}
+		if parts != wantParts {
+			t.Fatalf("dop=%d: PartitionsJoined = %d, want %d", dop, parts, wantParts)
+		}
+	}
+}
+
 // TestGraceJoinUnderBudgetStaysInMemory pins that a build within budget
 // returns an ordinary JoinTable and writes nothing to the store.
 func TestGraceJoinUnderBudgetStaysInMemory(t *testing.T) {
@@ -252,12 +391,15 @@ func TestGraceJoinUnderBudgetStaysInMemory(t *testing.T) {
 }
 
 // TestGraceJoinSpillWriteFailure injects a failing spill write at several
-// points of the pipeline (build partitioning, probe partitioning) and
-// requires a clean error — no panic, no partial result.
+// points of the pipeline (build partitioning, probe partitioning, partition
+// repartitioning) and requires a clean error — no panic, no partial result —
+// with the spill accounting reflecting only the writes that actually became
+// durable: SpillBytes must equal the bytes sitting in the store after the
+// failure, never the bytes attempted.
 func TestGraceJoinSpillWriteFailure(t *testing.T) {
 	build := buildSideBatch(600)
 	probe := probeSideBatches(400, 4)
-	for _, failAt := range []int{1, 2, 5} {
+	for _, failAt := range []int{1, 2, 5, 9, 14} {
 		store := NewMemSpillStore()
 		store.FailPut = failAt
 		src, err := BuildGraceJoin(NewBatchSource(build), []int{0}, InnerJoin, 2,
@@ -267,13 +409,93 @@ func TestGraceJoinSpillWriteFailure(t *testing.T) {
 			if src.Spilled == nil {
 				t.Fatalf("failAt=%d: expected a spilled build", failAt)
 			}
-			_, err = src.Spilled.JoinBatches(probe, []int{0}, probe[0].Schema)
+			_, err = src.Spilled.JoinBatches(probe, []int{0}, probe[0].Schema, 4)
 		}
 		if err == nil {
 			t.Fatalf("failAt=%d: injected put failure surfaced no error", failAt)
 		}
 		if !strings.Contains(err.Error(), "spill write") {
 			t.Fatalf("failAt=%d: error does not name the spill write: %v", failAt, err)
+		}
+		if src != nil && src.Spilled != nil {
+			if got, durable := src.Spilled.SpillBytes(), store.TotalBytes(); got != durable {
+				t.Fatalf("failAt=%d: SpillBytes = %d, but only %d bytes are durable in the store", failAt, got, durable)
+			}
+		}
+	}
+}
+
+// TestSpilledJoinRetryAfterWriteFailure pins the retry path of the shared
+// build namespace: a JoinBatches call that dies on a failed spill write
+// (possibly mid build-side repartition, leaving sub-partition files behind)
+// must be retryable on the same SpilledJoin — the retry rewrites identical
+// bytes to identical names, produces the in-memory reference output, and
+// SpillBytes still equals the bytes resident in the store (rewrites are
+// accounted once, not per attempt).
+func TestSpilledJoinRetryAfterWriteFailure(t *testing.T) {
+	// A skewed build forces recursive repartitioning inside JoinBatches.
+	schema := colfile.Schema{
+		{Name: "k", Type: colfile.Int64},
+		{Name: "tag", Type: colfile.String},
+	}
+	mkBuild := func() *colfile.Batch {
+		b := colfile.NewBatch(schema)
+		for i := 0; i < 800; i++ {
+			k := int64(7)
+			if i%10 == 0 {
+				k = int64(i)
+			}
+			b.Cols[0].AppendInt(k)
+			b.Cols[1].AppendStr(fmt.Sprintf("t%04d", i))
+		}
+		return b
+	}
+	probe := probeSideBatches(120, 3)
+	want := inMemoryReference(t, mkBuild(), probe, InnerJoin, []int{0}, []int{0})
+	cfg := func(store *MemSpillStore) SpillConfig { return SpillConfig{Budget: 1024, Store: store} }
+
+	// Learn the put schedule from a clean run so the sweep can aim failures
+	// after the build spill, inside JoinBatches (probe partitioning and the
+	// recursive build repartition).
+	clean := NewMemSpillStore()
+	srcClean, err := BuildGraceJoin(NewBatchSource(mkBuild()), []int{0}, InnerJoin, 1, cfg(clean), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buildPuts := clean.puts
+	if _, err := srcClean.Spilled.JoinBatches(probe, []int{0}, probe[0].Schema, 1); err != nil {
+		t.Fatal(err)
+	}
+	joinPuts := clean.puts - buildPuts
+	if joinPuts < 4 {
+		t.Fatalf("only %d puts inside JoinBatches; cannot aim the sweep", joinPuts)
+	}
+
+	for _, frac := range []int{4, 2, 3} { // early, middle, late within JoinBatches
+		store := NewMemSpillStore()
+		src, err := BuildGraceJoin(NewBatchSource(mkBuild()), []int{0}, InnerJoin, 1, cfg(store), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		store.FailPut = buildPuts + joinPuts*(frac-1)/frac + 1
+		if _, err := src.Spilled.JoinBatches(probe, []int{0}, probe[0].Schema, 1); err == nil {
+			t.Fatalf("frac=%d: injected put failure surfaced no error", frac)
+		}
+		outs, err := src.Spilled.JoinBatches(probe, []int{0}, probe[0].Schema, 1)
+		if err != nil {
+			t.Fatalf("frac=%d: retry after failure: %v", frac, err)
+		}
+		for i, b := range outs {
+			got := emptyRender(probe[i])
+			if b != nil {
+				got = renderSpillBatch(b)
+			}
+			if got != want[i] {
+				t.Fatalf("frac=%d morsel %d: retry differs from in-memory:\ngot:\n%s\nwant:\n%s", frac, i, got, want[i])
+			}
+		}
+		if got, durable := src.Spilled.SpillBytes(), store.TotalBytes(); got != durable {
+			t.Fatalf("frac=%d: after retry SpillBytes = %d, store holds %d bytes (rewrites double-counted?)", frac, got, durable)
 		}
 	}
 }

@@ -555,14 +555,17 @@ func (s *joinSpill) track(src *exec.JoinSource) {
 	s.pending = nil
 }
 
-// finish adds the spill-bytes accounting and deletes the query's spill
-// namespaces — including a still-pending one, which means the build errored
-// mid-spill and may have partition files on disk already. Cleanup is best
-// effort (errors leave orphans confined to the spill/ namespace, outside
-// GC's and the publishers' prefixes).
+// finish adds the spill accounting — bytes durably written (sj.SpillBytes
+// counts successful puts only, so a build that errored mid-spill contributes
+// exactly what reached the store) and partition-wise join tasks — and deletes
+// the query's spill namespaces, including a still-pending one, which means
+// the build errored mid-spill and may have partition files on disk already.
+// Cleanup is best effort (errors leave orphans confined to the spill/
+// namespace, outside GC's and the publishers' prefixes).
 func (s *joinSpill) finish() {
 	for _, sj := range s.spilled {
 		s.tx.Work().JoinSpillBytes.Add(sj.SpillBytes())
+		s.tx.Work().JoinSpillPartitions.Add(sj.PartitionsJoined())
 	}
 	if s.pending != nil {
 		_ = s.pending.Cleanup()
@@ -585,9 +588,11 @@ type probeStage struct {
 // least one build spilled: the probe-side scan is materialized per morsel,
 // then each stage transforms the per-morsel batches in order — in-memory
 // stages probe every batch in parallel against the shared JoinTable, spilled
-// stages run the partition-wise grace join (whose per-morsel outputs are
-// byte-identical to in-memory probes of the same batches). Morsel order, and
-// with it the downstream determinism contract, is preserved throughout.
+// stages fan the partition-wise grace join over the same leased worker pool,
+// one depth-0 partition per task with the nested build parallelism capped
+// (whose per-morsel outputs are byte-identical to in-memory probes of the
+// same batches). Morsel order, and with it the downstream determinism
+// contract, is preserved throughout.
 func runSpilledJoinStages(tx *core.Txn, ms *core.MorselScan, dop int, stages []probeStage, hint *exec.PruneHint) ([]*colfile.Batch, error) {
 	cur, err := exec.RunMorsels(ms.Morsels, dop, func(m exec.Morsel) (exec.Operator, error) {
 		s, err := exec.NewMorselScan(m, nil, hint, ms.Tel)
@@ -610,7 +615,7 @@ func runSpilledJoinStages(tx *core.Txn, ms *core.MorselScan, dop int, stages []p
 				return &exec.Probe{In: exec.NewBatchSource(b), Table: table, LeftKeys: keys, Tel: ms.Tel}, nil
 			})
 		} else {
-			cur, err = ps.src.Spilled.JoinBatches(cur, ps.leftKeys, leftSchema)
+			cur, err = ps.src.Spilled.JoinBatches(cur, ps.leftKeys, leftSchema, dop)
 		}
 		if err != nil {
 			return nil, err

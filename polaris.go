@@ -64,10 +64,13 @@ type Config struct {
 	Parallelism int
 	// JoinMemoryBudget caps, in bytes, the memory a hash-join build side may
 	// occupy. A build that exceeds it takes the grace-join path: both sides
-	// are hash-partitioned into spill files in the object store and joined
-	// partition by partition, with results byte-identical to the in-memory
-	// plan at every Parallelism setting (WorkStats.JoinSpills counts the
-	// spills). 0 (the default) means unlimited: builds never spill.
+	// are hash-partitioned into spill files in the object store and the
+	// partitions are joined as independent tasks fanned out over the same
+	// worker pool that runs morsels (nested build parallelism capped so the
+	// fan-out stays within Parallelism), with results byte-identical to the
+	// in-memory plan at every Parallelism setting (WorkStats.JoinSpills
+	// counts the spills, WorkStats.JoinSpillPartitions the partition tasks).
+	// 0 (the default) means unlimited: builds never spill.
 	JoinMemoryBudget int64
 	// Distributions is the number of cell buckets of d(r).
 	Distributions int

@@ -340,10 +340,122 @@ func TestJoinSpillEdges(t *testing.T) {
 	}
 }
 
+// TestConcurrentPartitionJoins is the acceptance test of the partition-wise
+// fan-out (run under -race in CI): the TPC-H Q10 shape — two spilling builds
+// in one statement, so two grace joins run their partition tasks on the
+// worker pool back to back — must stay byte-identical to the unlimited serial
+// plan at DOP {1,4,8} × budget {0, tiny}, join the same number of partition
+// pairs at every DOP (fanning out moves work between workers, never between
+// partitions), and leave the spill namespace empty after success and after an
+// injected mid-partition write failure.
+func TestConcurrentPartitionJoins(t *testing.T) {
+	const q = `SELECT c.c_custkey, l.l_quantity, l.l_shipdate
+		FROM lineitem l JOIN orders o ON l.l_orderkey = o.o_orderkey
+		JOIN customer c ON o.o_custkey = c.c_custkey
+		WHERE l.l_shipdate > 8000
+		ORDER BY c.c_custkey, l.l_quantity, l.l_shipdate`
+	serial := openTPCHBudget(t, 1, 0)
+	want := renderRows(serial.MustExec(q))
+	serial.Close()
+	if want == "" {
+		t.Fatal("reference query returned no rows")
+	}
+
+	// Below even the 0.05-scale customer build (~0.5 KiB), so BOTH builds of
+	// the statement overflow, not just orders.
+	const twoBuildBudget = 256
+
+	var wantParts int64 = -1
+	for _, dop := range []int{1, 4, 8} {
+		for _, budget := range []int64{0, twoBuildBudget} {
+			db := openTPCHBudget(t, dop, budget)
+			if got := renderRows(db.MustExec(q)); got != want {
+				t.Fatalf("dop=%d budget=%d: parallel partition-wise join differs from unlimited serial:\ngot:\n%s\nwant:\n%s",
+					dop, budget, got, want)
+			}
+			spills := db.Engine().Work.JoinSpills.Load()
+			parts := db.Engine().Work.JoinSpillPartitions.Load()
+			if budget == 0 {
+				if spills != 0 || parts != 0 {
+					t.Fatalf("dop=%d budget=0: unexpected spill activity: spills=%d partitions=%d", dop, spills, parts)
+				}
+			} else {
+				if spills < 2 {
+					t.Fatalf("dop=%d: JoinSpills = %d, want 2 (both builds must spill)", dop, spills)
+				}
+				if parts == 0 {
+					t.Fatal("JoinSpillPartitions = 0 after two spilled joins")
+				}
+				if wantParts < 0 {
+					wantParts = parts
+				} else if parts != wantParts {
+					t.Fatalf("dop=%d: JoinSpillPartitions = %d, want %d (partition decomposition must be DOP-invariant)",
+						dop, parts, wantParts)
+				}
+			}
+			if leaked := db.Engine().Store.List(objectstore.SpillPrefix); len(leaked) != 0 {
+				t.Fatalf("dop=%d budget=%d: %d spill files leaked", dop, budget, len(leaked))
+			}
+			db.Close()
+		}
+	}
+
+	// Injected mid-partition failure: fail a spill write landing deep in the
+	// statement's spill traffic — inside the fanned-out partition-wise join
+	// phase, where concurrent partition tasks are repartitioning and reading
+	// — and require a clean error, an empty spill namespace, and an exact
+	// result once the fault clears.
+	faults := objectstore.NewFaultInjector(7)
+	store := objectstore.New(objectstore.WithFaults(faults))
+	fabric := compute.NewFabric(compute.Config{Elastic: true, InitNodes: 4, SlotsPer: 4})
+	opts := core.DefaultOptions()
+	opts.Parallelism = 4
+	opts.JoinMemoryBudget = twoBuildBudget
+	eng := core.NewEngine(catalog.NewDB(), store, fabric, opts)
+	if _, err := workload.LoadTPCH(eng, 0.05, 2); err != nil {
+		t.Fatalf("load tpch: %v", err)
+	}
+	sess := sql.NewSession(eng)
+	defer sess.Close()
+	putsBefore := store.Metrics().Puts
+	res, err := sess.Exec(q)
+	if err != nil {
+		t.Fatalf("clean spilled run: %v", err)
+	}
+	if got := renderRows(wrap(res)); got != want {
+		t.Fatalf("fault-engine clean run differs from reference")
+	}
+	spillPuts := store.Metrics().Puts - putsBefore
+	if spillPuts < 4 {
+		t.Fatalf("query performed only %d spill puts; cannot aim mid-partition", spillPuts)
+	}
+	faults.FailNth(objectstore.OpPut, int(spillPuts*3/5))
+	_, err = sess.Exec(q)
+	faults.FailNth(objectstore.OpPut, 0)
+	if err == nil {
+		t.Fatal("mid-partition put failure surfaced no error")
+	}
+	if !strings.Contains(err.Error(), "spill write") {
+		t.Fatalf("mid-partition failure does not name the spill write: %v", err)
+	}
+	if leaked := store.List(objectstore.SpillPrefix); len(leaked) != 0 {
+		t.Fatalf("mid-partition failure leaked %d spill files", len(leaked))
+	}
+	res, err = sess.Exec(q)
+	if err != nil {
+		t.Fatalf("query after fault cleared: %v", err)
+	}
+	if got := renderRows(wrap(res)); got != want {
+		t.Fatalf("post-fault result differs from reference")
+	}
+}
+
 // TestJoinSpillUnderStorageFaults drives the spill path into injected object
 // store write failures: the query must fail with a clean error naming the
-// spill write (no partial results), and the spill namespace must be empty
-// afterwards — then the same query must succeed once the faults clear.
+// spill write (no partial results), the spill namespace must be empty
+// afterwards, and WorkStats.JoinSpillBytes must account exactly the spill
+// bytes that became durable (the store's own BytesWritten metric) — never the
+// attempted writes — then the same query must succeed once the faults clear.
 func TestJoinSpillUnderStorageFaults(t *testing.T) {
 	faults := objectstore.NewFaultInjector(42)
 	store := objectstore.New(objectstore.WithFaults(faults))
@@ -395,12 +507,17 @@ func TestJoinSpillUnderStorageFaults(t *testing.T) {
 
 	// Deterministically fail the nth spill write for a sweep of n: small n
 	// land mid build-side partitioning (files already on disk when the
-	// error surfaces), larger n land in probe-side partitioning. Every
-	// failure must be a clean error naming the spill write, and the spill
-	// namespace must be empty afterwards — build files of a half-finished
-	// spill included.
+	// error surfaces), larger n land in probe-side partitioning and in the
+	// repartition writes of the partition-wise join fan-out. Every failure
+	// must be a clean error naming the spill write, the spill namespace must
+	// be empty afterwards — build files of a half-finished spill included —
+	// and the spill-bytes accounting must move in lockstep with the bytes
+	// the store durably accepted: a put that failed (or was cancelled)
+	// contributes nothing to JoinSpillBytes.
 	sawFailure := false
-	for _, n := range []int{1, 3, 8, 20, 60} {
+	for _, n := range []int{1, 3, 8, 20, 60, 150} {
+		spillBytesBefore := eng.Work.JoinSpillBytes.Load()
+		durableBefore := store.Metrics().BytesWritten
 		faults.FailNth(objectstore.OpPut, n)
 		res, err := sess.Exec(q)
 		faults.FailNth(objectstore.OpPut, 0)
@@ -416,6 +533,20 @@ func TestJoinSpillUnderStorageFaults(t *testing.T) {
 		}
 		if leaked := store.List(objectstore.SpillPrefix); len(leaked) != 0 {
 			t.Fatalf("failing put %d: %d spill files leaked: %v", n, len(leaked), leaked[:min(3, len(leaked))])
+		}
+		// A SELECT writes nothing but spill files, so on success the
+		// counter's growth must equal the store's durable-write growth
+		// exactly. On failure it must never exceed it: a put that failed
+		// (or was cancelled) contributes nothing, and a build that errored
+		// mid-spill contributes at most what the store accepted before its
+		// namespace was torn down.
+		accounted := eng.Work.JoinSpillBytes.Load() - spillBytesBefore
+		durable := store.Metrics().BytesWritten - durableBefore
+		if err == nil && accounted != durable {
+			t.Fatalf("failing put %d: JoinSpillBytes grew %d, but the store durably accepted %d spill bytes", n, accounted, durable)
+		}
+		if accounted > durable {
+			t.Fatalf("failing put %d: JoinSpillBytes grew %d, more than the %d bytes the store durably accepted", n, accounted, durable)
 		}
 	}
 	if !sawFailure {
