@@ -6,7 +6,7 @@ GO ?= go
 # Output of the machine-readable micro-benchmark run. Parameterized so each
 # PR bumps one variable (or CI overrides it) instead of editing the target:
 #   make bench-json BENCH_JSON=BENCH_PR5.json
-BENCH_JSON ?= BENCH_PR5.json
+BENCH_JSON ?= BENCH_PR6.json
 
 .PHONY: build lint test race bench-smoke bench-json fuzz-smoke docs ci
 
@@ -59,12 +59,20 @@ fuzz-smoke:
 	$(GO) test -run NONE -fuzz '^FuzzAppendKey$$' -fuzztime 5s ./internal/colfile
 	$(GO) test -run NONE -fuzz '^FuzzAppendSortKey$$' -fuzztime 5s ./internal/colfile
 	$(GO) test -run NONE -fuzz '^FuzzBatchSpillRoundTrip$$' -fuzztime 5s ./internal/colfile
+	$(GO) test -run NONE -fuzz '^FuzzKernelEquivalence$$' -fuzztime 5s ./internal/exec
 
-# Documentation gate: every relative markdown link in the doc set must
-# resolve, and the package docs for the public API and the executor must
-# render (catches syntax-level doc rot).
+# Documentation gate: every relative markdown link AND #fragment anchor in
+# the doc set must resolve, benchmark-snapshot references must not be stale
+# relative to $(BENCH_JSON), docs/PERF.md must match the committed
+# BENCH_PR*.json snapshots byte-for-byte (perfdoc -check), and the package
+# docs for the public API and the executor must render (catches syntax-level
+# doc rot).
 docs:
-	$(GO) run ./cmd/doccheck README.md ROADMAP.md CHANGES.md PAPER.md docs/ARCHITECTURE.md
+	$(GO) run ./cmd/doccheck -bench-default $(BENCH_JSON) \
+		README.md ROADMAP.md PAPER.md \
+		docs/ARCHITECTURE.md docs/VECTORIZATION.md docs/PERF.md
+	$(GO) run ./cmd/doccheck CHANGES.md  # historical log: links only, past defaults allowed
+	$(GO) run ./cmd/perfdoc -check
 	@$(GO) doc . >/dev/null
 	@$(GO) doc ./internal/exec >/dev/null
 	@$(GO) doc ./internal/colfile >/dev/null

@@ -1,15 +1,28 @@
 // Command doccheck is the markdown half of `make docs`: it scans the given
-// markdown files for inline links and verifies that every relative link
-// target exists on disk, so README/ROADMAP/docs cross-references cannot rot
-// silently. External links (with a URL scheme) and same-file #anchors are
-// accepted without network access; a missing file is a hard failure.
+// markdown files for inline links and verifies that
+//
+//   - every relative link target exists on disk, so README/ROADMAP/docs
+//     cross-references cannot rot silently;
+//   - every #fragment — same-file (`#selection-vectors`) or cross-file
+//     (`VECTORIZATION.md#kernel-catalog`) — resolves to a real heading in
+//     the target markdown file, using GitHub's heading-slug rules, so
+//     section anchors cannot rot when headings are reworded;
+//   - with -bench-default, benchmark-snapshot references cannot go stale:
+//     any `BENCH_PRn.json` mention must exist on disk, and any line that
+//     declares a default (contains "default" or "BENCH_JSON") must name the
+//     current snapshot. Historical trajectory mentions on other lines are
+//     exempt — docs/PERF.md legitimately cites every past snapshot.
+//
+// External links (with a URL scheme) are accepted without network access; a
+// broken reference of any kind is a hard failure.
 //
 // Usage:
 //
-//	doccheck README.md docs/ARCHITECTURE.md ...
+//	doccheck [-bench-default BENCH_PR6.json] FILE.md ...
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -21,57 +34,164 @@ import (
 // match too, which is what we want: a broken diagram is still a broken link.
 var linkRe = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)[^)]*\)`)
 
+// benchRe matches benchmark snapshot file references in prose or code spans.
+var benchRe = regexp.MustCompile(`BENCH_PR\d+\.json`)
+
+// headingRe matches ATX headings; setext headings are not used in this repo.
+var headingRe = regexp.MustCompile(`^#{1,6}\s+(.*)$`)
+
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: doccheck FILE.md ...")
+	benchDefault := flag.String("bench-default", "",
+		"current BENCH_PRn.json snapshot; flags dangling or stale snapshot references")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck [-bench-default BENCH_PRn.json] FILE.md ...")
 		os.Exit(2)
 	}
 	broken := 0
-	for _, file := range os.Args[1:] {
+	anchors := map[string]map[string]bool{} // md path -> heading slug set
+	for _, file := range flag.Args() {
 		data, err := os.ReadFile(file)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
 			broken++
 			continue
 		}
-		checked := 0
-		for _, m := range linkRe.FindAllStringSubmatch(string(data), -1) {
+		text := string(data)
+		checked, frags := 0, 0
+		for _, m := range linkRe.FindAllStringSubmatch(text, -1) {
 			target := m[1]
-			if !isRelative(target) {
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
 				continue
 			}
-			checked++
-			if path, ok := resolve(file, target); !ok {
-				fmt.Fprintf(os.Stderr, "doccheck: %s: broken link %q (no file %s)\n", file, target, path)
-				broken++
+			path, frag := splitFragment(file, target)
+			if path != file {
+				checked++
+				if _, err := os.Stat(path); err != nil {
+					fmt.Fprintf(os.Stderr, "doccheck: %s: broken link %q (no file %s)\n", file, target, path)
+					broken++
+					continue
+				}
+			}
+			if frag != "" && strings.HasSuffix(path, ".md") {
+				frags++
+				slugs, err := headingSlugs(anchors, path)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "doccheck: %s: %v\n", file, err)
+					broken++
+				} else if !slugs[frag] {
+					fmt.Fprintf(os.Stderr, "doccheck: %s: broken anchor %q (no heading #%s in %s)\n",
+						file, target, frag, path)
+					broken++
+				}
 			}
 		}
-		fmt.Printf("doccheck: %s: %d relative links checked\n", file, checked)
+		if *benchDefault != "" {
+			broken += checkBenchRefs(file, text, *benchDefault)
+		}
+		fmt.Printf("doccheck: %s: %d relative links, %d anchors checked\n", file, checked, frags)
 	}
 	if broken > 0 {
 		os.Exit(1)
 	}
 }
 
-// isRelative reports whether target is a checkable on-disk reference:
-// no URL scheme, not a pure same-file anchor.
-func isRelative(target string) bool {
-	if strings.HasPrefix(target, "#") {
-		return false
+// splitFragment resolves a link target against the linking file's directory
+// and separates the #fragment. A pure "#frag" target points at file itself.
+func splitFragment(from, target string) (path, frag string) {
+	if i := strings.IndexByte(target, '#'); i >= 0 {
+		target, frag = target[:i], target[i+1:]
 	}
-	if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
-		return false
+	if target == "" {
+		return from, frag
 	}
-	return true
+	return filepath.Join(filepath.Dir(from), target), frag
 }
 
-// resolve maps a link target to a path relative to the linking file's
-// directory (dropping any #fragment) and reports whether it exists.
-func resolve(from, target string) (string, bool) {
-	if i := strings.IndexByte(target, '#'); i >= 0 {
-		target = target[:i]
+// headingSlugs returns (caching in cache) the set of GitHub-style anchor
+// slugs for the headings of the markdown file at path.
+func headingSlugs(cache map[string]map[string]bool, path string) (map[string]bool, error) {
+	if s, ok := cache[path]; ok {
+		return s, nil
 	}
-	path := filepath.Join(filepath.Dir(from), target)
-	_, err := os.Stat(path)
-	return path, err == nil
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	slugs := map[string]bool{}
+	counts := map[string]int{}
+	inFence := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		m := headingRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		slug := slugify(m[1])
+		// GitHub de-duplicates repeated headings as slug, slug-1, slug-2...
+		if n := counts[slug]; n > 0 {
+			slugs[fmt.Sprintf("%s-%d", slug, n)] = true
+		} else {
+			slugs[slug] = true
+		}
+		counts[slug]++
+	}
+	cache[path] = slugs
+	return slugs, nil
+}
+
+// slugify applies GitHub's heading-anchor algorithm: strip markdown
+// formatting, lowercase, drop everything but letters/digits/spaces/hyphens/
+// underscores, then turn spaces into hyphens.
+func slugify(h string) string {
+	h = strings.ReplaceAll(h, "`", "")
+	h = linkRe.ReplaceAllStringFunc(h, func(l string) string {
+		return l[1:strings.IndexByte(l, ']')] // keep link text, drop target
+	})
+	h = strings.ToLower(strings.TrimSpace(h))
+	var b strings.Builder
+	for _, r := range h {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '-' || r == '_':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// checkBenchRefs flags benchmark-snapshot drift in one file: references to
+// snapshots that don't exist on disk, and default-declaring lines that name
+// a snapshot other than the current one.
+func checkBenchRefs(file, text, current string) int {
+	bad := 0
+	for i, line := range strings.Split(text, "\n") {
+		refs := benchRe.FindAllString(line, -1)
+		if len(refs) == 0 {
+			continue
+		}
+		declaresDefault := strings.Contains(strings.ToLower(line), "default") ||
+			strings.Contains(line, "BENCH_JSON")
+		for _, ref := range refs {
+			if _, err := os.Stat(ref); err != nil {
+				fmt.Fprintf(os.Stderr, "doccheck: %s:%d: reference to %s, which does not exist on disk\n",
+					file, i+1, ref)
+				bad++
+				continue
+			}
+			if declaresDefault && ref != current {
+				fmt.Fprintf(os.Stderr, "doccheck: %s:%d: stale default %s (current snapshot is %s)\n",
+					file, i+1, ref, current)
+				bad++
+			}
+		}
+	}
+	return bad
 }

@@ -12,6 +12,13 @@
 // Files are write-once: a Writer accumulates row groups and Finish seals the
 // file. Readers never mutate file bytes, which is what makes log-structured
 // storage's "discard on failure" recovery story work.
+//
+// In-memory, Vec and Batch are also the executor's vectorized currency:
+// batches may carry a transient selection vector (Batch.Sel) between pipeline
+// operators, and vectors expose reusable scratch (ResetLen, NullScratch) for
+// allocation-free kernel evaluation. The selection-vector rules — logical vs
+// physical rows, the materialize-at-boundaries rule — are specified in
+// docs/VECTORIZATION.md.
 package colfile
 
 import (
@@ -111,6 +118,64 @@ func (v *Vec) Len() int {
 
 // IsNull reports whether position i is NULL.
 func (v *Vec) IsNull(i int) bool { return v.Nulls != nil && v.Nulls[i] }
+
+// HasNulls reports whether the vector carries a NULL bitmap at all. A nil
+// bitmap means "provably no NULLs", which is the fast path vectorized kernels
+// branch on; a non-nil bitmap may still be all-false.
+func (v *Vec) HasNulls() bool { return v.Nulls != nil }
+
+// ResetLen prepares v for reuse as a kernel output: type t, exactly n value
+// slots, reusing payload capacity from previous uses and clearing the NULL
+// bitmap to nil. Slot values are unspecified until written — callers (the
+// exec kernel runner) overwrite every lane they later read. This is the
+// scratch-reuse primitive of the vectorized pipeline (docs/VECTORIZATION.md):
+// in steady state a scratch vector never allocates.
+func (v *Vec) ResetLen(t DataType, n int) {
+	v.Type = t
+	v.Nulls = nil
+	switch t {
+	case Int64:
+		if cap(v.Ints) < n {
+			v.Ints = make([]int64, n)
+		} else {
+			v.Ints = v.Ints[:n]
+		}
+	case Float64:
+		if cap(v.Floats) < n {
+			v.Floats = make([]float64, n)
+		} else {
+			v.Floats = v.Floats[:n]
+		}
+	case String:
+		if cap(v.Strs) < n {
+			v.Strs = make([]string, n)
+		} else {
+			v.Strs = v.Strs[:n]
+		}
+	case Bool:
+		if cap(v.Bools) < n {
+			v.Bools = make([]bool, n)
+		} else {
+			v.Bools = v.Bools[:n]
+		}
+	}
+}
+
+// NullScratch returns a zeroed NULL bitmap of length n, installed as v.Nulls
+// and reusing its previous capacity. Kernels call it when at least one input
+// carries NULLs; lanes outside the selection stay false, which is harmless
+// because those lanes are never read.
+func (v *Vec) NullScratch(n int) []bool {
+	if cap(v.Nulls) < n {
+		v.Nulls = make([]bool, n)
+	} else {
+		v.Nulls = v.Nulls[:n]
+		for i := range v.Nulls {
+			v.Nulls[i] = false
+		}
+	}
+	return v.Nulls
+}
 
 // AppendInt appends an int64 value.
 func (v *Vec) AppendInt(x int64) { v.Ints = append(v.Ints, x); v.growNull(false) }
@@ -480,9 +545,21 @@ func (v *Vec) Slice(lo, hi int) *Vec {
 
 // Batch is a set of equal-length column vectors: the execution engine's unit
 // of work.
+//
+// Sel, when non-nil, is a selection vector: the batch's logical rows are the
+// physical positions Sel[0..len(Sel)) of the column vectors, in that order
+// (strictly ascending in every batch the engine produces). A filter that
+// keeps 12 of 4096 rows emits the same physical columns with a 12-entry Sel
+// instead of copying 12-row columns — downstream operators iterate logical
+// rows via RowIdx and read the physical slices directly. The contract
+// (normative in docs/VECTORIZATION.md): selection vectors are a transient,
+// intra-pipeline annotation; they never cross a persistence or exchange
+// boundary (Writer.WriteBatch, MarshalBatch and AppendBatch materialize), and
+// a batch carrying Sel must be treated as read-only through it.
 type Batch struct {
 	Schema Schema
 	Cols   []*Vec
+	Sel    []int
 }
 
 // NewBatch creates an empty batch for a schema.
@@ -494,12 +571,49 @@ func NewBatch(schema Schema) *Batch {
 	return &Batch{Schema: schema, Cols: cols}
 }
 
-// NumRows returns the number of rows in the batch.
+// NumRows returns the number of logical rows in the batch: the selection
+// length when a selection vector is present, the physical column length
+// otherwise.
 func (b *Batch) NumRows() int {
+	if b.Sel != nil {
+		return len(b.Sel)
+	}
 	if len(b.Cols) == 0 {
 		return 0
 	}
 	return b.Cols[0].Len()
+}
+
+// PhysRows returns the physical length of the column vectors, ignoring any
+// selection vector. Kernel outputs are sized to PhysRows so their lanes stay
+// position-aligned with the input columns.
+func (b *Batch) PhysRows() int {
+	if len(b.Cols) == 0 {
+		return 0
+	}
+	return b.Cols[0].Len()
+}
+
+// RowIdx maps logical row i to its physical position in the column vectors.
+func (b *Batch) RowIdx(i int) int {
+	if b.Sel != nil {
+		return b.Sel[i]
+	}
+	return i
+}
+
+// Materialize returns a dense batch: b itself when no selection vector is
+// present, otherwise a new batch whose columns hold exactly the selected rows
+// (a typed bulk gather, no per-value boxing).
+func (b *Batch) Materialize() *Batch {
+	if b.Sel == nil {
+		return b
+	}
+	out := &Batch{Schema: b.Schema, Cols: make([]*Vec, len(b.Cols))}
+	for i, v := range b.Cols {
+		out.Cols[i] = v.Take(b.Sel)
+	}
+	return out
 }
 
 // AppendRow appends one row given as Go values.
@@ -515,17 +629,21 @@ func (b *Batch) AppendRow(vals ...any) error {
 	return nil
 }
 
-// Row materializes row i as Go values.
+// Row materializes logical row i as Go values.
 func (b *Batch) Row(i int) []any {
 	out := make([]any, len(b.Cols))
+	p := b.RowIdx(i)
 	for c, v := range b.Cols {
-		out[c] = v.Value(i)
+		out[c] = v.Value(p)
 	}
 	return out
 }
 
-// Filter returns a new batch keeping only rows where keep[i] is true.
+// Filter returns a new dense batch keeping only logical rows where keep[i]
+// is true. keep is indexed by logical row (a selected batch is materialized
+// first).
 func (b *Batch) Filter(keep []bool) *Batch {
+	b = b.Materialize()
 	out := &Batch{Schema: b.Schema, Cols: make([]*Vec, len(b.Cols))}
 	for i, v := range b.Cols {
 		out.Cols[i] = v.Filter(keep)
@@ -533,8 +651,10 @@ func (b *Batch) Filter(keep []bool) *Batch {
 	return out
 }
 
-// Take gathers the given row positions into a new batch (see Vec.Take; an
-// index of -1 yields a NULL row on every column).
+// Take gathers the given physical row positions into a new dense batch (see
+// Vec.Take; an index of -1 yields a NULL row on every column). idx addresses
+// physical positions: callers holding a selected batch map logical rows
+// through RowIdx themselves (the join probe does exactly that).
 func (b *Batch) Take(idx []int) *Batch {
 	out := &Batch{Schema: b.Schema, Cols: make([]*Vec, len(b.Cols))}
 	for i, v := range b.Cols {
@@ -543,11 +663,15 @@ func (b *Batch) Take(idx []int) *Batch {
 	return out
 }
 
-// AppendBatch appends all rows of src (same schema).
+// AppendBatch appends all logical rows of src (same schema). A selection
+// vector on src is honored — only the selected rows are appended — so
+// collecting a filtered stream materializes it densely.
 func (b *Batch) AppendBatch(src *Batch) {
+	n := src.NumRows()
 	for i := range b.Cols {
-		for r := 0; r < src.NumRows(); r++ {
-			b.Cols[i].Append(src.Cols[i], r)
+		sv := src.Cols[i]
+		for r := 0; r < n; r++ {
+			b.Cols[i].Append(sv, src.RowIdx(r))
 		}
 	}
 }

@@ -68,11 +68,14 @@ func NewWriter(schema Schema) *Writer {
 // SetSortedBy declares the clustering column recorded in the footer.
 func (w *Writer) SetSortedBy(col string) { w.sortedBy = col }
 
-// WriteBatch appends one row group containing the batch's rows.
+// WriteBatch appends one row group containing the batch's logical rows.
+// Selection vectors never reach the file format: a selected batch is
+// materialized densely first (docs/VECTORIZATION.md, boundary rule).
 func (w *Writer) WriteBatch(b *Batch) error {
 	if w.finished {
 		return errors.New("colfile: writer already finished")
 	}
+	b = b.Materialize()
 	if !b.Schema.Equal(w.schema) {
 		return fmt.Errorf("colfile: batch schema %v does not match file schema %v", b.Schema, w.schema)
 	}

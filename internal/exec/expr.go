@@ -3,6 +3,13 @@
 // columnar scans over immutable data files with deletion-vector filtering and
 // zone-map pruning, plus filter, project, hash join, hash aggregation, sort
 // and limit operators working batch-at-a-time over colfile vectors.
+//
+// Expressions evaluate through compiled kernel programs (Compile → Prog,
+// immutable and shared across workers, with per-worker EvalCtx scratch);
+// filters pass selection vectors (colfile.Batch.Sel) instead of materialized
+// copies. The normative kernel contract — catalog, selection and NULL
+// semantics, aliasing rules, and the guarantee of observational equivalence
+// with the scalar reference evaluator (Expr.Eval) — is docs/VECTORIZATION.md.
 package exec
 
 import (

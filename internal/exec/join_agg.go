@@ -190,11 +190,15 @@ func (p *Probe) Next() (*colfile.Batch, error) {
 // probeBatch joins one probe batch against the shared table. Output row
 // order is fixed by probe-row order then build-row order, so results are
 // deterministic for any decomposition of the probe stream into batches.
+// Selected batches are probed through their selection vector (logical order
+// equals ascending physical order), so a filtered probe side needs no
+// materialization.
 func (p *Probe) probeBatch(lb *colfile.Batch) *colfile.Batch {
 	jt := p.Table
 	p.lIdx, p.rIdx = p.lIdx[:0], p.rIdx[:0]
 	for i := 0; i < lb.NumRows(); i++ {
-		k, ok := appendRowKey(p.keyBuf[:0], lb, p.LeftKeys, i)
+		phys := lb.RowIdx(i)
+		k, ok := appendRowKey(p.keyBuf[:0], lb, p.LeftKeys, phys)
 		p.keyBuf = k[:0]
 		var matches []int
 		if ok {
@@ -203,20 +207,20 @@ func (p *Probe) probeBatch(lb *colfile.Batch) *colfile.Batch {
 		switch jt.typ {
 		case SemiJoin:
 			if len(matches) > 0 {
-				p.lIdx = append(p.lIdx, i)
+				p.lIdx = append(p.lIdx, phys)
 			}
 		case InnerJoin:
 			for _, m := range matches {
-				p.lIdx = append(p.lIdx, i)
+				p.lIdx = append(p.lIdx, phys)
 				p.rIdx = append(p.rIdx, m)
 			}
 		case LeftOuterJoin:
 			if len(matches) == 0 {
-				p.lIdx = append(p.lIdx, i)
+				p.lIdx = append(p.lIdx, phys)
 				p.rIdx = append(p.rIdx, -1)
 			} else {
 				for _, m := range matches {
-					p.lIdx = append(p.lIdx, i)
+					p.lIdx = append(p.lIdx, phys)
 					p.rIdx = append(p.rIdx, m)
 				}
 			}
@@ -310,25 +314,103 @@ type AggSpec struct {
 // (the per-worker phase of two-phase parallel aggregation) it emits
 // mergeable partial states — per aggregate a value column plus, for SUM/AVG,
 // a non-NULL count column — which MergeAgg folds into final values.
+// Group-by and aggregate-argument expressions run as compiled kernel
+// programs (pre-compiled by the planner via GroupProgs/ArgProgs or compiled
+// on first use), and the accumulation loop reads typed payload slices
+// directly — per input row it boxes nothing.
 type HashAgg struct {
 	In      Operator
 	GroupBy []Expr
 	Aggs    []AggSpec
 	Partial bool
 	Tel     *Telemetry
+	// GroupProgs/ArgProgs optionally carry the planner's pre-compiled
+	// programs, parallel to GroupBy/Aggs (ArgProgs entries are nil for
+	// COUNT(*)). When nil the operator compiles on first use.
+	GroupProgs []*Prog
+	ArgProgs   []*Prog
 
 	schema colfile.Schema
 	done   bool
 }
 
+// aggState accumulates one group. MIN/MAX state is typed (mmT selects the
+// payload): values are compared and stored unboxed per row and boxed exactly
+// once per group when the result row is rendered — the dominant allocation
+// in the pre-vectorized profile.
 type aggState struct {
 	groupVals []any
 	count     []int64
 	sumF      []float64
 	sumI      []int64
 	isFloat   []bool
-	minmax    []any
 	seen      []bool
+	mmT       []colfile.DataType
+	mmI       []int64
+	mmF       []float64
+	mmS       []string
+	mmB       []bool
+}
+
+// observeMinMax folds physical lane p of v into min/max slot i.
+func (st *aggState) observeMinMax(k AggKind, v *colfile.Vec, p, i int) {
+	if !st.seen[i] {
+		st.seen[i] = true
+		st.mmT[i] = v.Type
+		switch v.Type {
+		case colfile.Int64:
+			st.mmI[i] = v.Ints[p]
+		case colfile.Float64:
+			st.mmF[i] = v.Floats[p]
+		case colfile.String:
+			st.mmS[i] = v.Strs[p]
+		case colfile.Bool:
+			st.mmB[i] = v.Bools[p]
+		}
+		return
+	}
+	var c int
+	switch v.Type {
+	case colfile.Int64:
+		c = cmpOrd(v.Ints[p], st.mmI[i])
+	case colfile.Float64:
+		c = cmpOrd(v.Floats[p], st.mmF[i])
+	case colfile.String:
+		c = strings.Compare(v.Strs[p], st.mmS[i])
+	case colfile.Bool:
+		c = cmpOrd(b2i(v.Bools[p]), b2i(st.mmB[i]))
+	}
+	if (k == AggMin && c < 0) || (k == AggMax && c > 0) {
+		switch v.Type {
+		case colfile.Int64:
+			st.mmI[i] = v.Ints[p]
+		case colfile.Float64:
+			st.mmF[i] = v.Floats[p]
+		case colfile.String:
+			st.mmS[i] = v.Strs[p]
+		case colfile.Bool:
+			st.mmB[i] = v.Bools[p]
+		}
+	}
+}
+
+// minmaxValue boxes min/max slot i's value for result rendering (nil when the
+// group saw no non-NULL values).
+func (st *aggState) minmaxValue(i int) any {
+	if !st.seen[i] {
+		return nil
+	}
+	switch st.mmT[i] {
+	case colfile.Int64:
+		return st.mmI[i]
+	case colfile.Float64:
+		return st.mmF[i]
+	case colfile.String:
+		return st.mmS[i]
+	case colfile.Bool:
+		return st.mmB[i]
+	}
+	return nil
 }
 
 // Schema implements Operator.
@@ -387,6 +469,52 @@ func (h *HashAgg) Next() (*colfile.Batch, error) {
 	var order []string
 	var keyBuf []byte
 
+	// Compile group-by and argument expressions once for the whole drain;
+	// exotic expressions fall back to the scalar reference path.
+	in := h.In.Schema()
+	keyProgs, argProgs := h.GroupProgs, h.ArgProgs
+	fallback := false
+	if keyProgs == nil {
+		keyProgs = make([]*Prog, len(h.GroupBy))
+		for i, g := range h.GroupBy {
+			p, err := Compile(g, in)
+			if err != nil {
+				fallback = true
+				break
+			}
+			keyProgs[i] = p
+		}
+	}
+	if !fallback && argProgs == nil {
+		argProgs = make([]*Prog, len(h.Aggs))
+		for i, a := range h.Aggs {
+			if a.Arg == nil {
+				continue
+			}
+			p, err := Compile(a.Arg, in)
+			if err != nil {
+				fallback = true
+				break
+			}
+			argProgs[i] = p
+		}
+	}
+	var keyCtxs, argCtxs []*EvalCtx
+	if !fallback {
+		keyCtxs = make([]*EvalCtx, len(keyProgs))
+		for i, p := range keyProgs {
+			keyCtxs[i] = p.NewCtx()
+		}
+		argCtxs = make([]*EvalCtx, len(argProgs))
+		for i, p := range argProgs {
+			if p != nil {
+				argCtxs[i] = p.NewCtx()
+			}
+		}
+	}
+	keyVecs := make([]*colfile.Vec, len(h.GroupBy))
+	argVecs := make([]*colfile.Vec, len(h.Aggs))
+
 	for {
 		b, err := h.In.Next()
 		if err != nil {
@@ -398,29 +526,42 @@ func (h *HashAgg) Next() (*colfile.Batch, error) {
 		if h.Tel != nil {
 			h.Tel.RowsProcessed.Add(int64(b.NumRows()))
 		}
-		keyVecs := make([]*colfile.Vec, len(h.GroupBy))
-		for i, g := range h.GroupBy {
-			v, err := g.Eval(b)
+		if fallback {
+			b = b.Materialize() // the scalar reference is defined over dense batches
+		}
+		for i := range h.GroupBy {
+			var v *colfile.Vec
+			if fallback {
+				v, err = h.GroupBy[i].Eval(b)
+			} else {
+				v, err = keyProgs[i].Run(keyCtxs[i], b)
+			}
 			if err != nil {
 				return nil, err
 			}
 			keyVecs[i] = v
 		}
-		argVecs := make([]*colfile.Vec, len(h.Aggs))
 		for i, a := range h.Aggs {
-			if a.Arg != nil {
-				v, err := a.Arg.Eval(b)
-				if err != nil {
-					return nil, err
-				}
-				argVecs[i] = v
+			if a.Arg == nil {
+				continue
 			}
+			var v *colfile.Vec
+			if fallback {
+				v, err = a.Arg.Eval(b)
+			} else {
+				v, err = argProgs[i].Run(argCtxs[i], b)
+			}
+			if err != nil {
+				return nil, err
+			}
+			argVecs[i] = v
 		}
 		for r := 0; r < b.NumRows(); r++ {
-			keyBuf = appendGroupKey(keyBuf[:0], keyVecs, r)
+			phys := b.RowIdx(r)
+			keyBuf = appendGroupKey(keyBuf[:0], keyVecs, phys)
 			st, ok := groups[string(keyBuf)]
 			if !ok {
-				st = newAggState(groupVals(keyVecs, r), len(h.Aggs))
+				st = newAggState(groupVals(keyVecs, phys), len(h.Aggs))
 				key := string(keyBuf)
 				groups[key] = st
 				order = append(order, key)
@@ -431,7 +572,7 @@ func (h *HashAgg) Next() (*colfile.Batch, error) {
 					continue
 				}
 				v := argVecs[i]
-				if v.IsNull(r) {
+				if v.IsNull(phys) {
 					continue // aggregates skip NULLs
 				}
 				st.count[i]++
@@ -439,25 +580,16 @@ func (h *HashAgg) Next() (*colfile.Batch, error) {
 				case AggSum, AggAvg:
 					switch v.Type {
 					case colfile.Int64:
-						st.sumI[i] += v.Ints[r]
-						st.sumF[i] += float64(v.Ints[r])
+						st.sumI[i] += v.Ints[phys]
+						st.sumF[i] += float64(v.Ints[phys])
 					case colfile.Float64:
 						st.isFloat[i] = true
-						st.sumF[i] += v.Floats[r]
+						st.sumF[i] += v.Floats[phys]
 					default:
 						return nil, fmt.Errorf("exec: SUM over %s", v.Type)
 					}
 				case AggMin, AggMax:
-					cur := v.Value(r)
-					if !st.seen[i] {
-						st.minmax[i] = cur
-						st.seen[i] = true
-						continue
-					}
-					c := compareAny(cur, st.minmax[i])
-					if (a.Kind == AggMin && c < 0) || (a.Kind == AggMax && c > 0) {
-						st.minmax[i] = cur
-					}
+					st.observeMinMax(a.Kind, v, phys, i)
 				}
 			}
 		}
@@ -512,10 +644,7 @@ func (h *HashAgg) appendPartial(row []any, k AggKind, st *aggState, i int) []any
 	case AggAvg:
 		return append(append(row, st.sumF[i]), st.count[i])
 	case AggMin, AggMax:
-		if !st.seen[i] {
-			return append(row, nil)
-		}
-		return append(row, st.minmax[i])
+		return append(row, st.minmaxValue(i))
 	}
 	return append(row, nil)
 }
@@ -551,18 +680,4 @@ func groupVals(vecs []*colfile.Vec, r int) []any {
 		vals[i] = v.Value(r)
 	}
 	return vals
-}
-
-func compareAny(a, b any) int {
-	switch x := a.(type) {
-	case int64:
-		return cmpOrd(x, b.(int64))
-	case float64:
-		return cmpOrd(x, b.(float64))
-	case string:
-		return strings.Compare(x, b.(string))
-	case bool:
-		return cmpOrd(b2i(x), b2i(b.(bool)))
-	}
-	return 0
 }

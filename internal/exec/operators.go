@@ -233,11 +233,25 @@ func (s *BatchSource) Next() (*colfile.Batch, error) {
 }
 
 // Filter passes through rows where the predicate evaluates to true
-// (NULL is not true).
+// (NULL is not true). The predicate is compiled into a kernel program on the
+// first batch (or supplied pre-compiled via Prog by the planner) and rows are
+// passed through as a selection vector over the input's physical columns —
+// no copies. The emitted batch aliases the filter's internal selection
+// buffer: it is valid until the next call to Next (the standard operator
+// output contract, docs/VECTORIZATION.md).
 type Filter struct {
 	In   Operator
 	Pred Expr
 	Tel  *Telemetry
+	// Prog optionally carries the planner's pre-compiled predicate; when nil
+	// the filter compiles Pred itself on first use.
+	Prog *Prog
+
+	ctx      *EvalCtx
+	compiled bool
+	fallback bool
+	selBuf   []int
+	out      colfile.Batch
 }
 
 // Schema implements Operator.
@@ -250,6 +264,67 @@ func (f *Filter) Next() (*colfile.Batch, error) {
 		if err != nil || b == nil {
 			return nil, err
 		}
+		if !f.compiled {
+			f.compiled = true
+			if f.Prog == nil {
+				prog, err := Compile(f.Pred, f.In.Schema())
+				if err != nil {
+					// Exotic Expr the compiler does not know: keep the
+					// scalar reference path (it reports the same type errors).
+					f.fallback = true
+				} else {
+					f.Prog = prog
+				}
+			}
+			if f.Prog != nil {
+				f.ctx = f.Prog.NewCtx()
+			}
+		}
+		if f.fallback {
+			return f.nextScalar(b)
+		}
+		pv, err := f.Prog.Run(f.ctx, b)
+		if err != nil {
+			return nil, err
+		}
+		if pv.Type != colfile.Bool {
+			return nil, fmt.Errorf("exec: predicate yields %s, not bool", pv.Type)
+		}
+		if f.Tel != nil {
+			f.Tel.RowsProcessed.Add(int64(b.NumRows()))
+		}
+		sel := f.selBuf[:0]
+		if b.Sel == nil {
+			n := b.PhysRows()
+			for i := 0; i < n; i++ {
+				if !pv.IsNull(i) && pv.Bools[i] {
+					sel = append(sel, i)
+				}
+			}
+		} else {
+			for _, i := range b.Sel {
+				if !pv.IsNull(i) && pv.Bools[i] {
+					sel = append(sel, i)
+				}
+			}
+		}
+		f.selBuf = sel
+		if len(sel) == 0 {
+			continue
+		}
+		if len(sel) == b.NumRows() {
+			return b, nil // every logical row passed; keep the input as-is
+		}
+		f.out = colfile.Batch{Schema: b.Schema, Cols: b.Cols, Sel: sel}
+		return &f.out, nil
+	}
+}
+
+// nextScalar is the pre-vectorization filter body, kept as the fallback for
+// predicates the compiler cannot lower.
+func (f *Filter) nextScalar(b *colfile.Batch) (*colfile.Batch, error) {
+	for {
+		b = b.Materialize() // the scalar reference is defined over dense batches
 		pv, err := f.Pred.Eval(b)
 		if err != nil {
 			return nil, err
@@ -268,24 +343,37 @@ func (f *Filter) Next() (*colfile.Batch, error) {
 				kept++
 			}
 		}
-		if kept == 0 {
-			continue
+		if kept > 0 {
+			if kept == b.NumRows() {
+				return b, nil
+			}
+			return b.Filter(keep), nil
 		}
-		if kept == b.NumRows() {
-			return b, nil
+		b, err = f.In.Next()
+		if err != nil || b == nil {
+			return nil, err
 		}
-		return b.Filter(keep), nil
 	}
 }
 
-// Project computes output expressions per row.
+// Project computes output expressions batch-at-a-time through compiled
+// kernel programs (with the scalar reference as fallback for expressions the
+// compiler cannot lower). Output batches are always dense: column references
+// over dense input alias the input vector (as the scalar path did), computed
+// columns are bulk-copied out of the per-operator scratch.
 type Project struct {
 	In    Operator
 	Exprs []Expr
 	Names []string
 	Tel   *Telemetry
+	// Progs optionally carries the planner's pre-compiled programs, parallel
+	// to Exprs; when nil the operator compiles on first use.
+	Progs []*Prog
 
-	schema colfile.Schema
+	schema   colfile.Schema
+	ctxs     []*EvalCtx
+	compiled bool
+	fallback bool
 }
 
 // Schema implements Operator.
@@ -320,13 +408,58 @@ func (p *Project) Next() (*colfile.Batch, error) {
 	if p.Tel != nil {
 		p.Tel.RowsProcessed.Add(int64(b.NumRows()))
 	}
+	if !p.compiled {
+		p.compiled = true
+		if p.Progs == nil {
+			progs := make([]*Prog, len(p.Exprs))
+			for i, e := range p.Exprs {
+				prog, err := Compile(e, p.In.Schema())
+				if err != nil {
+					p.fallback = true
+					break
+				}
+				progs[i] = prog
+			}
+			if !p.fallback {
+				p.Progs = progs
+			}
+		}
+		if p.Progs != nil {
+			p.ctxs = make([]*EvalCtx, len(p.Progs))
+			for i, prog := range p.Progs {
+				p.ctxs[i] = prog.NewCtx()
+			}
+		}
+	}
 	out := &colfile.Batch{Schema: p.Schema(), Cols: make([]*colfile.Vec, len(p.Exprs))}
-	for i, e := range p.Exprs {
-		v, err := e.Eval(b)
+	if p.fallback {
+		b = b.Materialize() // the scalar reference is defined over dense batches
+		for i, e := range p.Exprs {
+			v, err := e.Eval(b)
+			if err != nil {
+				return nil, err
+			}
+			out.Cols[i] = v
+		}
+		return out, nil
+	}
+	for i, prog := range p.Progs {
+		v, err := prog.Run(p.ctxs[i], b)
 		if err != nil {
 			return nil, err
 		}
-		out.Cols[i] = v
+		switch {
+		case b.Sel != nil:
+			out.Cols[i] = v.Take(b.Sel) // gather selected lanes densely
+		default:
+			if col, ok := prog.ColRef(); ok {
+				out.Cols[i] = b.Cols[col] // alias, as the scalar ColRef did
+				continue
+			}
+			// copy out of reusable scratch (broadcast constants may be
+			// longer than the batch, hence the explicit bound)
+			out.Cols[i] = v.Slice(0, b.PhysRows())
+		}
 	}
 	return out, nil
 }
@@ -353,6 +486,7 @@ func (l *Limit) Next() (*colfile.Batch, error) {
 		if err != nil || b == nil {
 			return nil, err
 		}
+		b = b.Materialize() // sliceBatch addresses physical positions
 		n := int64(b.NumRows())
 		if l.skipped < l.Offset {
 			toSkip := l.Offset - l.skipped

@@ -391,15 +391,7 @@ func (m *MergeAgg) Next() (*colfile.Batch, error) {
 					if v.IsNull(r) {
 						break // this worker saw no values for the group
 					}
-					cur := v.Value(r)
-					if !st.seen[i] {
-						st.minmax[i], st.seen[i] = cur, true
-						break
-					}
-					c := compareAny(cur, st.minmax[i])
-					if (a.Kind == AggMin && c < 0) || (a.Kind == AggMax && c > 0) {
-						st.minmax[i] = cur
-					}
+					st.observeMinMax(a.Kind, v, r, i)
 				}
 				col += partialWidth(a.Kind)
 			}
@@ -517,8 +509,12 @@ func newAggState(groupVals []any, nAggs int) *aggState {
 		sumF:      make([]float64, nAggs),
 		sumI:      make([]int64, nAggs),
 		isFloat:   make([]bool, nAggs),
-		minmax:    make([]any, nAggs),
 		seen:      make([]bool, nAggs),
+		mmT:       make([]colfile.DataType, nAggs),
+		mmI:       make([]int64, nAggs),
+		mmF:       make([]float64, nAggs),
+		mmS:       make([]string, nAggs),
+		mmB:       make([]bool, nAggs),
 	}
 }
 
@@ -541,10 +537,7 @@ func finalAggValue(k AggKind, st *aggState, i int, outType colfile.DataType) any
 		}
 		return st.sumF[i] / float64(st.count[i])
 	case AggMin, AggMax:
-		if !st.seen[i] {
-			return nil
-		}
-		return st.minmax[i]
+		return st.minmaxValue(i)
 	}
 	return nil
 }

@@ -247,15 +247,16 @@ func (t *TopN) Next() (*colfile.Batch, error) {
 			t.Tel.RowsProcessed.Add(int64(b.NumRows()))
 		}
 		for r := 0; r < b.NumRows(); r++ {
-			keyBuf = appendRowSortKey(keyBuf[:0], b, t.Keys, r)
+			phys := b.RowIdx(r) // logical order == ascending physical order
+			keyBuf = appendRowSortKey(keyBuf[:0], b, t.Keys, phys)
 			seq++
 			switch {
 			case int64(len(heap)) < t.N:
-				e := topEntry{key: append([]byte(nil), keyBuf...), row: appendRow(b, r), seq: seq}
+				e := topEntry{key: append([]byte(nil), keyBuf...), row: appendRow(b, phys), seq: seq}
 				heap = append(heap, e)
 				heap.siftUp(len(heap) - 1)
 			case bytes.Compare(keyBuf, heap[0].key) < 0:
-				heap[0] = topEntry{key: append([]byte(nil), keyBuf...), row: appendRow(b, r), seq: seq}
+				heap[0] = topEntry{key: append([]byte(nil), keyBuf...), row: appendRow(b, phys), seq: seq}
 				heap.siftDown(0)
 			}
 		}

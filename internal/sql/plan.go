@@ -727,10 +727,18 @@ func runSelectParallel(tx *core.Txn, st *SelectStmt, meta catalog.TableMeta, hin
 	}
 
 	var pred exec.Expr
+	var predProg *exec.Prog
 	if st.Where != nil {
 		pred, err = bind(st.Where, sc)
 		if err != nil {
 			return nil, true, err
+		}
+		// Compile the predicate into a kernel program once per statement; the
+		// immutable Prog is shared by every morsel worker's Filter instance
+		// (each owns its EvalCtx). A nil Prog makes the operator compile — or
+		// fall back to the scalar reference — itself.
+		if p, cerr := exec.Compile(pred, sc.schema); cerr == nil {
+			predProg = p
 		}
 	}
 	// runFragments fans the embarrassingly parallel tail of the plan out
@@ -760,7 +768,7 @@ func runSelectParallel(tx *core.Txn, st *SelectStmt, meta catalog.TableMeta, hin
 				op = &exec.Probe{In: op, Table: ps.src.Table, LeftKeys: ps.leftKeys, Tel: ms.Tel}
 			}
 			if pred != nil {
-				op = &exec.Filter{In: op, Pred: pred, Tel: ms.Tel}
+				op = &exec.Filter{In: op, Pred: pred, Prog: predProg, Tel: ms.Tel}
 			}
 			return op, nil
 		}
@@ -782,7 +790,7 @@ func runSelectParallel(tx *core.Txn, st *SelectStmt, meta catalog.TableMeta, hin
 			return exec.RunBatches(joined, dop, func(_ int, b *colfile.Batch) (exec.Operator, error) {
 				var op exec.Operator = exec.NewBatchSource(b)
 				if pred != nil {
-					op = &exec.Filter{In: op, Pred: pred, Tel: ms.Tel}
+					op = &exec.Filter{In: op, Pred: pred, Prog: predProg, Tel: ms.Tel}
 				}
 				return suffix(op)
 			})
@@ -802,8 +810,12 @@ func runSelectParallel(tx *core.Txn, st *SelectStmt, meta catalog.TableMeta, hin
 		if err != nil {
 			return nil, true, err
 		}
+		groupProgs, argProgs := compileAggProgs(ap.groupBy, ap.aggs, sc.schema)
 		batches, err := runFragments(func(op exec.Operator) (exec.Operator, error) {
-			return &exec.HashAgg{In: op, GroupBy: ap.groupBy, Aggs: ap.aggs, Partial: true}, nil
+			return &exec.HashAgg{
+				In: op, GroupBy: ap.groupBy, Aggs: ap.aggs, Partial: true,
+				GroupProgs: groupProgs, ArgProgs: argProgs,
+			}, nil
 		})
 		if err != nil {
 			return nil, true, err
@@ -825,13 +837,14 @@ func runSelectParallel(tx *core.Txn, st *SelectStmt, meta catalog.TableMeta, hin
 		if err != nil {
 			return nil, true, err
 		}
+		projProgs := compileProgs(exprs, sc.schema)
 		proto := &exec.Project{In: schemaSource(), Exprs: exprs, Names: names}
 		if len(st.OrderBy) > 0 {
-			b, err := runParallelOrderBy(tx, st, runFragments, ms.Tel, exprs, names, proto.Schema())
+			b, err := runParallelOrderBy(tx, st, runFragments, ms.Tel, exprs, names, projProgs, proto.Schema())
 			return b, true, err
 		}
 		batches, err := runFragments(func(op exec.Operator) (exec.Operator, error) {
-			return &exec.Project{In: op, Exprs: exprs, Names: names}, nil
+			return &exec.Project{In: op, Exprs: exprs, Names: names, Progs: projProgs}, nil
 		})
 		if err != nil {
 			return nil, true, err
@@ -855,7 +868,8 @@ func runSelectParallel(tx *core.Txn, st *SelectStmt, meta catalog.TableMeta, hin
 // the FE ever materialize the full sorted result.
 func runParallelOrderBy(tx *core.Txn, st *SelectStmt,
 	runFragments func(func(exec.Operator) (exec.Operator, error)) ([]*colfile.Batch, error),
-	tel *exec.Telemetry, exprs []exec.Expr, names []string, outSchema colfile.Schema) (*colfile.Batch, error) {
+	tel *exec.Telemetry, exprs []exec.Expr, names []string, progs []*exec.Prog,
+	outSchema colfile.Schema) (*colfile.Batch, error) {
 	keys, err := orderKeys(st, outSchema)
 	if err != nil {
 		return nil, err
@@ -865,7 +879,7 @@ func runParallelOrderBy(tx *core.Txn, st *SelectStmt,
 		bound = st.Limit + st.Offset
 	}
 	batches, err := runFragments(func(op exec.Operator) (exec.Operator, error) {
-		op = &exec.Project{In: op, Exprs: exprs, Names: names}
+		op = &exec.Project{In: op, Exprs: exprs, Names: names, Progs: progs}
 		if bound >= 0 {
 			return &exec.TopN{In: op, Keys: keys, N: bound, Tel: tel}, nil
 		}
@@ -882,6 +896,45 @@ func runParallelOrderBy(tx *core.Txn, st *SelectStmt,
 		out = &exec.Limit{In: out, N: st.Limit, Offset: st.Offset}
 	}
 	return exec.Collect(out)
+}
+
+// compileProgs lowers bound expressions into kernel programs once per
+// statement against the fragment input schema; the resulting Progs are
+// immutable and shared read-only by every morsel worker (each operator
+// instance owns its EvalCtx). Returns nil when any expression cannot be
+// lowered — operators then compile or fall back themselves.
+func compileProgs(exprs []exec.Expr, schema colfile.Schema) []*exec.Prog {
+	progs := make([]*exec.Prog, len(exprs))
+	for i, e := range exprs {
+		p, err := exec.Compile(e, schema)
+		if err != nil {
+			return nil
+		}
+		progs[i] = p
+	}
+	return progs
+}
+
+// compileAggProgs compiles the group-by and aggregate-argument expressions of
+// a parallel aggregation (nil entries for COUNT(*)); all-or-nothing per list
+// so HashAgg's fallback logic stays simple.
+func compileAggProgs(groupBy []exec.Expr, aggs []exec.AggSpec, schema colfile.Schema) (groupProgs, argProgs []*exec.Prog) {
+	groupProgs = compileProgs(groupBy, schema)
+	if groupProgs == nil {
+		return nil, nil
+	}
+	argProgs = make([]*exec.Prog, len(aggs))
+	for i, a := range aggs {
+		if a.Arg == nil {
+			continue
+		}
+		p, err := exec.Compile(a.Arg, schema)
+		if err != nil {
+			return nil, nil
+		}
+		argProgs[i] = p
+	}
+	return groupProgs, argProgs
 }
 
 func aliasOf(r TableRef) string {
