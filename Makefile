@@ -6,7 +6,7 @@ GO ?= go
 # Output of the machine-readable micro-benchmark run. Parameterized so each
 # PR bumps one variable (or CI overrides it) instead of editing the target:
 #   make bench-json BENCH_JSON=BENCH_PR5.json
-BENCH_JSON ?= BENCH_PR6.json
+BENCH_JSON ?= BENCH_PR7.json
 
 .PHONY: build lint test race bench-smoke bench-json fuzz-smoke docs ci
 
@@ -70,7 +70,7 @@ fuzz-smoke:
 docs:
 	$(GO) run ./cmd/doccheck -bench-default $(BENCH_JSON) \
 		README.md ROADMAP.md PAPER.md \
-		docs/ARCHITECTURE.md docs/VECTORIZATION.md docs/PERF.md
+		docs/ARCHITECTURE.md docs/VECTORIZATION.md docs/PLANNER.md docs/PERF.md
 	$(GO) run ./cmd/doccheck CHANGES.md  # historical log: links only, past defaults allowed
 	$(GO) run ./cmd/perfdoc -check
 	@$(GO) doc . >/dev/null

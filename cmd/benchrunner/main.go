@@ -155,6 +155,26 @@ func runMicroJSON(path string) error {
 		})
 		record("ParallelJoinSpill", dop, r)
 	}
+	bloomTable, err := bench.ParallelJoinBloomTable()
+	if err != nil {
+		return err
+	}
+	for _, dop := range []int{1, 4, 8} {
+		dop := dop
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out, pruned, err := bench.ParallelJoinBloom(files, bloomTable, dop, true)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if out.NumRows() == 0 || pruned == 0 {
+					b.Fatalf("bloom probe: %d rows, %d pruned", out.NumRows(), pruned)
+				}
+			}
+		})
+		record("ParallelJoinBloom", dop, r)
+	}
 	for _, dop := range []int{1, 4, 8} {
 		dop := dop
 		r := testing.Benchmark(func(b *testing.B) {

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// chdirTemp runs the test from a fresh temp dir so checkBenchRefs's
+// os.Stat probes see exactly the snapshot files the test creates.
+func chdirTemp(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = os.Chdir(old) })
+	return dir
+}
+
+func touch(t *testing.T, dir, name string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBenchRefsMissingSnapshotFails(t *testing.T) {
+	dir := chdirTemp(t)
+	touch(t, dir, "BENCH_PR6.json")
+	// BENCH_PR7.json is referenced but absent from disk: the doc gate must
+	// fail instead of letting the reference dangle.
+	text := "Current numbers live in BENCH_PR7.json.\n"
+	if bad := checkBenchRefs("README.md", text, "BENCH_PR7.json"); bad != 1 {
+		t.Fatalf("missing snapshot: %d findings, want 1", bad)
+	}
+	touch(t, dir, "BENCH_PR7.json")
+	if bad := checkBenchRefs("README.md", text, "BENCH_PR7.json"); bad != 0 {
+		t.Fatalf("present snapshot: %d findings, want 0", bad)
+	}
+}
+
+func TestBenchRefsStaleDefaultFails(t *testing.T) {
+	dir := chdirTemp(t)
+	touch(t, dir, "BENCH_PR6.json")
+	touch(t, dir, "BENCH_PR7.json")
+	// A default-declaring line naming last PR's snapshot is stale even though
+	// the file still exists.
+	stale := "The default snapshot is BENCH_PR6.json.\n"
+	if bad := checkBenchRefs("README.md", stale, "BENCH_PR7.json"); bad != 1 {
+		t.Fatalf("stale default: %d findings, want 1", bad)
+	}
+	// The same mention on a non-default line is a legitimate historical
+	// reference (docs/PERF.md cites every past snapshot).
+	history := "PR 6 recorded its numbers in BENCH_PR6.json.\n"
+	if bad := checkBenchRefs("docs/PERF.md", history, "BENCH_PR7.json"); bad != 0 {
+		t.Fatalf("historical mention: %d findings, want 0", bad)
+	}
+	// BENCH_JSON assignment lines count as default declarations too.
+	makefile := "BENCH_JSON ?= BENCH_PR6.json\n"
+	if bad := checkBenchRefs("Makefile", makefile, "BENCH_PR7.json"); bad != 1 {
+		t.Fatalf("stale BENCH_JSON default: %d findings, want 1", bad)
+	}
+}

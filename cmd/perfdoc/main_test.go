@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeSnap(t *testing.T, dir, name, body string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+const snapBody = `{"go_version":"go1.22","results":[
+	{"name":"ParallelJoinBloom","dop":1,"ns_per_op":1000,"allocs_per_op":10,"bytes_per_op":100}]}`
+
+func TestLoadSnapshotsAutoDiscovers(t *testing.T) {
+	dir := t.TempDir()
+	// Snapshots are discovered by pattern and ordered by PR number — adding
+	// BENCH_PR10.json later must not sort before BENCH_PR7.json.
+	writeSnap(t, dir, "BENCH_PR10.json", snapBody)
+	writeSnap(t, dir, "BENCH_PR7.json", snapBody)
+	writeSnap(t, dir, "BENCH_PR2.json", snapBody)
+	writeSnap(t, dir, "not-a-snapshot.json", snapBody)
+	snaps, err := loadSnapshots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, s := range snaps {
+		names = append(names, s.name)
+	}
+	want := []string{"BENCH_PR2.json", "BENCH_PR7.json", "BENCH_PR10.json"}
+	if len(names) != len(want) {
+		t.Fatalf("discovered %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("discovered %v, want %v (numeric PR order)", names, want)
+		}
+	}
+}
+
+func TestRenderPicksUpNewSnapshotWithoutEdits(t *testing.T) {
+	dir := t.TempDir()
+	writeSnap(t, dir, "BENCH_PR6.json", `{"go_version":"go1.22","results":[
+		{"name":"ParallelJoin","dop":1,"ns_per_op":2000,"allocs_per_op":20,"bytes_per_op":200}]}`)
+	snaps, err := loadSnapshots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := render(snaps)
+	if strings.Contains(before, "ParallelJoinBloom") {
+		t.Fatal("benchmark not yet in any snapshot must not render")
+	}
+
+	// Dropping the next PR's snapshot in is all it takes: the new benchmark
+	// gets its own table and the new row appears, with the earlier snapshot
+	// shown as a dash for the benchmark it predates.
+	writeSnap(t, dir, "BENCH_PR7.json", snapBody)
+	snaps, err = loadSnapshots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := render(snaps)
+	if !strings.Contains(after, "## ParallelJoinBloom") {
+		t.Fatal("new snapshot's benchmark did not get a table")
+	}
+	if !strings.Contains(after, "| BENCH_PR7 |") {
+		t.Fatal("new snapshot row missing")
+	}
+	if !strings.Contains(after, "| BENCH_PR6 | — | — |") {
+		t.Fatal("pre-existing snapshot must dash out the benchmark it predates")
+	}
+}

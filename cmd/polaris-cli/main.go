@@ -107,6 +107,7 @@ func metaCommand(sess *polaris.Session, cmd string) bool {
 	case "\\help":
 		fmt.Println(`statements: SELECT / INSERT / UPDATE / DELETE / CREATE TABLE / DROP TABLE
             BEGIN / COMMIT / ROLLBACK
+            EXPLAIN SELECT ...                (cost-based plan, no execution)
             SELECT ... FROM t AS OF <seq>     (time travel)
             CLONE TABLE src TO dst [AS OF n]  (zero-copy clone)
             RESTORE TABLE t AS OF n

@@ -49,6 +49,10 @@ type footer struct {
 	// SortedBy names the column the writer declared rows ordered by within
 	// each row group (Z-order / clustering stand-in); empty if unsorted.
 	SortedBy string `json:"sorted_by,omitempty"`
+	// Sketches holds one per-column statistics sketch (row/NULL counts,
+	// min/max, NDV bitmap) for the whole file, schema-aligned. Absent in
+	// files sealed before sketches existed — readers must tolerate nil.
+	Sketches []ColSketch `json:"sketches,omitempty"`
 }
 
 // Writer builds a columnar file in memory.
@@ -83,11 +87,15 @@ func (w *Writer) WriteBatch(b *Batch) error {
 	if n == 0 {
 		return nil
 	}
+	if w.meta.Sketches == nil {
+		w.meta.Sketches = make([]ColSketch, len(w.schema))
+	}
 	rg := rowGroupMeta{NumRows: n, Chunks: make([]chunkMeta, len(b.Cols))}
 	for i, col := range b.Cols {
 		if col.Len() != n {
 			return fmt.Errorf("colfile: column %d has %d rows, batch has %d", i, col.Len(), n)
 		}
+		w.meta.Sketches[i].Observe(col)
 		data, err := encodeChunk(col)
 		if err != nil {
 			return err
@@ -125,6 +133,11 @@ func (w *Writer) Finish() ([]byte, error) {
 
 // NumRows returns the rows written so far.
 func (w *Writer) NumRows() int64 { return w.meta.NumRows }
+
+// Sketches returns the per-column statistics sketches accumulated so far
+// (schema-aligned; nil before the first batch). Write paths attach these to
+// the manifest action after sealing so table stats stay fresh under DML.
+func (w *Writer) Sketches() []ColSketch { return w.meta.Sketches }
 
 func computeStats(v *Vec) ColStats {
 	var st ColStats
@@ -216,6 +229,10 @@ func (r *Reader) RowGroupRows(g int) int { return r.meta.RowGroups[g].NumRows }
 
 // SortedBy returns the clustering column declared by the writer.
 func (r *Reader) SortedBy() string { return r.meta.SortedBy }
+
+// Sketches returns the file-level per-column statistics sketches, or nil for
+// files sealed before sketches existed.
+func (r *Reader) Sketches() []ColSketch { return r.meta.Sketches }
 
 // Stats returns the zone map for column c of row group g.
 func (r *Reader) Stats(g, c int) ColStats { return r.meta.RowGroups[g].Chunks[c].Stats }

@@ -156,6 +156,20 @@ type WorkStats struct {
 	// no probe rows are skipped and not counted. Deterministic for a fixed
 	// snapshot, budget and fanout, so tests assert on this counter.
 	JoinSpillPartitions atomic.Int64
+	// BuildSideSwaps counts joins whose build side differs from syntactic
+	// order because the cost-based planner estimated the other side smaller
+	// (docs/PLANNER.md). Plan choice depends only on the snapshot's
+	// statistics, so tests assert on this counter.
+	BuildSideSwaps atomic.Int64
+	// PushedFilters counts WHERE conjuncts compiled into the scan itself
+	// (evaluated before unreferenced columns are decoded) rather than a
+	// downstream Filter operator. Deterministic per statement shape.
+	PushedFilters atomic.Int64
+	// RuntimeFilterRows counts probe-side rows skipped by join runtime bloom
+	// filters before the hash-table walk (in-memory probe and spilled
+	// partitioning alike). Row-based, so DOP-invariant: tests assert on it
+	// across the DOP × budget sweep.
+	RuntimeFilterRows atomic.Int64
 }
 
 // Snapshot returns a plain-values copy of the counters.

@@ -153,6 +153,7 @@ func (t *Txn) CompactTable(table string) (CompactionResult, error) {
 			actions = append(actions, manifest.Action{
 				Op: manifest.OpAdd, Kind: manifest.KindData, Path: path,
 				Rows: int64(hi - lo), Size: int64(len(data)), Partition: p,
+				Sketches: w.Sketches(),
 			})
 			res.OutputFiles++
 		}

@@ -148,6 +148,7 @@ func (t *Txn) Insert(table string, rows *colfile.Batch) (int64, error) {
 					res.actions = append(res.actions, manifest.Action{
 						Op: manifest.OpAdd, Kind: manifest.KindData, Path: path,
 						Rows: int64(hi - lo), Size: int64(len(data)), Partition: p,
+						Sketches: w.Sketches(),
 					})
 					res.rows += int64(hi - lo)
 					n++
@@ -381,6 +382,7 @@ func (t *Txn) deleteCopyOnWrite(state *manifest.TableState, meta catalog.TableMe
 			newActions = append(newActions, manifest.Action{
 				Op: manifest.OpAdd, Kind: manifest.KindData, Path: newPath,
 				Rows: int64(survivors.NumRows()), Size: int64(len(out)), Partition: fe.Partition,
+				Sketches: w.Sketches(),
 			})
 		}
 	}
@@ -672,6 +674,7 @@ func (t *Txn) BulkLoad(table string, sources []SourceFile) (int64, error) {
 					res.actions = append(res.actions, manifest.Action{
 						Op: manifest.OpAdd, Kind: manifest.KindData, Path: path,
 						Rows: int64(sorted.NumRows()), Size: int64(len(data)), Partition: p,
+						Sketches: w.Sketches(),
 					})
 					res.rows += int64(sorted.NumRows())
 				}

@@ -1,0 +1,112 @@
+package exec
+
+import "sync/atomic"
+
+// Bloom is a join runtime filter: a bloom filter over the encoded build-side
+// join keys, consulted on the probe side before the hash-table walk (and, on
+// the spilled path, before probe rows are even partitioned to the object
+// store). A Bloom has no false negatives, so dropping rows it rejects cannot
+// change join results — the cross-DOP byte-identity contract
+// (docs/ARCHITECTURE.md) is preserved by construction. Its contents are a
+// pure set-OR of per-key bit patterns, independent of insertion order, so
+// parallel and serial builds produce the same filter.
+//
+// Add is NOT safe for concurrent use; MayContain on a sealed filter is.
+type Bloom struct {
+	bits []uint64
+	mask uint64 // bit-count - 1; bit count is a power of two
+	k    int    // probes per key
+}
+
+// bloomProbes is the number of bits set/tested per key. With ~10 bits per
+// key, k=4 gives a false-positive rate around 1-2% — runtime filters only
+// need to be roughly right, misses cost one hash-map lookup.
+const bloomProbes = 4
+
+// bloomMinBits and bloomMaxBits bound filter size: 1 KiB floor so tiny
+// builds still filter well, 128 KiB ceiling so a huge build-side key set
+// degrades to a denser (less selective) filter instead of unbounded memory.
+const (
+	bloomMinBits = 8 << 10
+	bloomMaxBits = 1 << 20
+)
+
+// spillBloomKeyHint sizes the runtime filter a grace join accumulates while
+// spilling its build side, where the true key count is unknown until the
+// stream is drained. A fixed hint (128 Ki bits after the ×10 sizing rule,
+// 16 KiB) keeps the filter deterministic for a fixed build regardless of how
+// the drain was batched.
+const spillBloomKeyHint = 1 << 13
+
+// NewBloom sizes a filter for approximately n keys (~10 bits per key,
+// rounded up to a power of two within [bloomMinBits, bloomMaxBits]). The
+// size is a pure function of n, which keeps filters deterministic for a
+// fixed build side.
+func NewBloom(n int) *Bloom {
+	bits := uint64(bloomMinBits)
+	for bits < uint64(n)*10 && bits < bloomMaxBits {
+		bits <<= 1
+	}
+	return &Bloom{bits: make([]uint64, bits/64), mask: bits - 1, k: bloomProbes}
+}
+
+// bloomHash64 is FNV-1a 64 over the encoded key; split into two halves it
+// seeds the double-hashing probe sequence.
+func bloomHash64(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Add inserts an encoded key.
+func (f *Bloom) Add(key []byte) {
+	h := bloomHash64(key)
+	h1, h2 := h, (h>>33)|1 // h2 odd => full-period probe sequence
+	for i := 0; i < f.k; i++ {
+		bit := h1 & f.mask
+		f.bits[bit/64] |= 1 << (bit % 64)
+		h1 += h2
+	}
+}
+
+// MayContain reports whether key may have been added. False means
+// definitely absent.
+func (f *Bloom) MayContain(key []byte) bool {
+	h := bloomHash64(key)
+	h1, h2 := h, (h>>33)|1
+	for i := 0; i < f.k; i++ {
+		bit := h1 & f.mask
+		if f.bits[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+		h1 += h2
+	}
+	return true
+}
+
+// BloomFilter derives the runtime filter from a completed build: one Add per
+// distinct build key. Partition map iteration order does not matter — the
+// filter is an order-independent OR of bit patterns.
+func (jt *JoinTable) BloomFilter() *Bloom {
+	n := 0
+	for _, part := range jt.parts {
+		n += len(part)
+	}
+	f := NewBloom(n)
+	for _, part := range jt.parts {
+		for k := range part {
+			f.Add([]byte(k))
+		}
+	}
+	return f
+}
+
+// countPruned adds n to a shared pruned-row counter if one is attached.
+func countPruned(ctr *atomic.Int64, n int64) {
+	if ctr != nil && n > 0 {
+		ctr.Add(n)
+	}
+}

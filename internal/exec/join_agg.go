@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"polaris/internal/colfile"
 )
@@ -151,6 +152,13 @@ type Probe struct {
 	Table    *JoinTable
 	LeftKeys []int
 	Tel      *Telemetry
+	// Bloom, when set, short-circuits the hash-table walk for probe keys the
+	// runtime filter proves absent. No false negatives, so results are
+	// byte-identical with or without it (docs/PLANNER.md).
+	Bloom *Bloom
+	// Pruned, when set, accumulates the rows Bloom rejected (row-based, so
+	// DOP-invariant; the planner points it at WorkStats.RuntimeFilterRows).
+	Pruned *atomic.Int64
 
 	schema colfile.Schema
 	keyBuf []byte
@@ -196,13 +204,18 @@ func (p *Probe) Next() (*colfile.Batch, error) {
 func (p *Probe) probeBatch(lb *colfile.Batch) *colfile.Batch {
 	jt := p.Table
 	p.lIdx, p.rIdx = p.lIdx[:0], p.rIdx[:0]
+	var pruned int64
 	for i := 0; i < lb.NumRows(); i++ {
 		phys := lb.RowIdx(i)
 		k, ok := appendRowKey(p.keyBuf[:0], lb, p.LeftKeys, phys)
 		p.keyBuf = k[:0]
 		var matches []int
 		if ok {
-			matches = jt.lookup(k)
+			if p.Bloom != nil && !p.Bloom.MayContain(k) {
+				pruned++ // provably no match: skip the hash-table walk
+			} else {
+				matches = jt.lookup(k)
+			}
 		}
 		switch jt.typ {
 		case SemiJoin:
@@ -226,6 +239,7 @@ func (p *Probe) probeBatch(lb *colfile.Batch) *colfile.Batch {
 			}
 		}
 	}
+	countPruned(p.Pruned, pruned)
 	schema := p.Schema()
 	out := &colfile.Batch{Schema: schema, Cols: make([]*colfile.Vec, len(schema))}
 	leftCols := len(lb.Cols)

@@ -57,6 +57,15 @@ type Scan struct {
 	// morsel's only file).
 	groupLo, groupHi int
 
+	// pred is a compiled predicate pushed into the scan by the planner
+	// (shared immutable Prog, per-scan EvalCtx). Per row group, the DV-live
+	// selection is computed first, then only the predicate's columns are
+	// decoded and evaluated; the remaining projected columns are decoded
+	// only for groups with at least one qualifying row. See PushPredicate.
+	pred     *Prog
+	predCols []int // projected-schema positions the predicate reads
+	predCtx  *EvalCtx
+
 	fileIdx  int
 	reader   *colfile.Reader
 	groupIdx int
@@ -110,6 +119,31 @@ func (s *Scan) project(full colfile.Schema) error {
 
 // Schema implements Operator.
 func (s *Scan) Schema() colfile.Schema { return s.schema }
+
+// PushPredicate attaches a compiled predicate evaluated inside the scan.
+// The Prog must be compiled against the scan's projected schema, return
+// Bool, and be unable to error at runtime (the planner only pushes such
+// conjuncts): a row the predicate rejects is dropped before downstream
+// operators — or the remaining columns — ever see it. Deleted rows are
+// excluded before evaluation, so a pushed predicate cannot observe them.
+// Reports whether the predicate was attached (a program reading no columns
+// is refused — constant predicates stay in the Filter above the scan).
+func (s *Scan) PushPredicate(p *Prog) bool {
+	cols := p.Cols()
+	if len(cols) == 0 || p.OutType() != colfile.Bool {
+		return false
+	}
+	s.pred, s.predCols, s.predCtx = p, cols, p.NewCtx()
+	return true
+}
+
+// fileCol maps a projected-schema column position to its file column index.
+func (s *Scan) fileCol(c int) int {
+	if s.colIdxs == nil {
+		return c
+	}
+	return s.colIdxs[c]
+}
 
 // Next implements Operator.
 func (s *Scan) Next() (*colfile.Batch, error) {
@@ -167,6 +201,20 @@ func (s *Scan) Next() (*colfile.Batch, error) {
 			}
 		}
 
+		if s.pred != nil {
+			batch, err := s.readGroupPushdown(g, groupRows, base)
+			if err != nil {
+				return nil, err
+			}
+			if s.tel != nil {
+				s.tel.RowsScanned.Add(int64(groupRows))
+			}
+			if batch == nil {
+				continue
+			}
+			return batch, nil
+		}
+
 		batch, err := s.reader.ReadRowGroup(g, s.colIdxs)
 		if err != nil {
 			return nil, err
@@ -196,6 +244,84 @@ func (s *Scan) Next() (*colfile.Batch, error) {
 		}
 		return batch, nil
 	}
+}
+
+// readGroupPushdown reads row group g under the pushed predicate. Order
+// matters for correctness: (1) the deletion vector produces the live
+// selection, so the predicate never evaluates deleted rows; (2) only the
+// predicate's columns are decoded and the program runs over that selection;
+// (3) the remaining projected columns are decoded only when at least one row
+// qualifies. Returns nil (no batch) when the whole group is filtered out.
+func (s *Scan) readGroupPushdown(g, groupRows int, base uint32) (*colfile.Batch, error) {
+	var sel []int
+	dv := s.files[s.fileIdx].DV
+	if dv != nil && !dv.IsEmpty() {
+		sel = make([]int, 0, groupRows)
+		for i := 0; i < groupRows; i++ {
+			if !dv.Contains(base + uint32(i)) {
+				sel = append(sel, i)
+			}
+		}
+		if len(sel) == 0 {
+			return nil, nil
+		}
+		if len(sel) == groupRows {
+			sel = nil // dense
+		}
+	}
+
+	cols := make([]*colfile.Vec, len(s.schema))
+	for _, c := range s.predCols {
+		v, err := s.reader.ReadColumn(g, s.fileCol(c))
+		if err != nil {
+			return nil, err
+		}
+		cols[c] = v
+	}
+	pb := &colfile.Batch{Schema: s.schema, Cols: cols, Sel: sel}
+	if cols[0] == nil {
+		// PhysRows reads Cols[0].Len(); alias a decoded predicate column
+		// there purely for its length — the program only dereferences the
+		// slots it reads, and the alias is overwritten below.
+		pb.Cols[0] = cols[s.predCols[0]]
+	}
+	pv, err := s.pred.Run(s.predCtx, pb)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, 0, pb.NumRows())
+	if sel == nil {
+		for i := 0; i < groupRows; i++ {
+			if !pv.IsNull(i) && pv.Bools[i] {
+				out = append(out, i)
+			}
+		}
+	} else {
+		for _, i := range sel {
+			if !pv.IsNull(i) && pv.Bools[i] {
+				out = append(out, i)
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, nil
+	}
+
+	have := make([]bool, len(s.schema))
+	for _, c := range s.predCols {
+		have[c] = true
+	}
+	for c := range s.schema {
+		if have[c] {
+			continue
+		}
+		v, err := s.reader.ReadColumn(g, s.fileCol(c))
+		if err != nil {
+			return nil, err
+		}
+		cols[c] = v
+	}
+	return &colfile.Batch{Schema: s.schema, Cols: cols, Sel: out}, nil
 }
 
 func (s *Scan) fullSchemaMatches(other colfile.Schema) bool {

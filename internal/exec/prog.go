@@ -10,6 +10,7 @@ package exec
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"polaris/internal/colfile"
 )
@@ -56,6 +57,27 @@ type Prog struct {
 
 // OutType reports the static result type of the program.
 func (p *Prog) OutType() colfile.DataType { return p.slots[p.out].typ }
+
+// Cols returns the distinct input column indexes the program reads, in
+// ascending order. The scan uses it to decode only the predicate's columns
+// before deciding whether a row group has any qualifying rows at all.
+func (p *Prog) Cols() []int {
+	var out []int
+	for _, s := range p.slots {
+		if s.kind == slotCol {
+			out = append(out, s.col)
+		}
+	}
+	sort.Ints(out)
+	n := 0
+	for i, c := range out {
+		if i == 0 || c != out[n-1] {
+			out[n] = c
+			n++
+		}
+	}
+	return out[:n]
+}
 
 // ColRef reports whether the program is a bare column reference, and which
 // input column it reads. Callers use it to alias the input vector directly

@@ -132,6 +132,17 @@ type SpilledJoin struct {
 	// recursive repartitioning.
 	partMem []int64
 
+	// bloom is the runtime filter over every spilled build key, accumulated
+	// while the build side is partitioned (nil for left outer joins, whose
+	// unmatched probe rows must still be emitted). JoinBatches consults it to
+	// drop provably matchless probe rows before they pay the spill round
+	// trip. No false negatives, so output is unchanged; the filter is an
+	// order-independent OR over the build keys, so it is deterministic.
+	bloom *Bloom
+	// bloomPruned counts probe rows the filter dropped (row-based, hence
+	// DOP-invariant).
+	bloomPruned atomic.Int64
+
 	// probeCalls numbers JoinBatches calls so each call's probe-side spill
 	// files live in their own namespace (l/cNNN/...): a second or concurrent
 	// call must never list a previous call's leaf files.
@@ -223,6 +234,12 @@ func (sj *SpilledJoin) SpillFiles() int64 {
 
 // Partitions returns the depth-0 partition count.
 func (sj *SpilledJoin) Partitions() int { return sj.fanout }
+
+// BloomPrunedRows returns how many probe rows the build-side runtime bloom
+// filter dropped before spilling, across all JoinBatches calls. Row-based, so
+// deterministic and DOP-invariant; the planner folds it into
+// WorkStats.RuntimeFilterRows.
+func (sj *SpilledJoin) BloomPrunedRows() int64 { return sj.bloomPruned.Load() }
 
 // PartitionsJoined returns how many (build, probe) partition pairs have been
 // joined so far — the leaf tasks of the partition-wise fan-out, recursion
@@ -383,15 +400,30 @@ func BuildGraceJoin(build Operator, keys []int, typ JoinType, parallelism int, c
 		fanout: fanout, budget: cfg.Budget, flushBytes: flush,
 		parallelism: parallelism, partition: part, tel: tel,
 	}
+	if typ != LeftOuterJoin {
+		// The key count is unknown while streaming; size for the spill
+		// regime (a build past the budget has many keys). Fixed hint keeps
+		// the filter deterministic regardless of how the drain interleaved.
+		sj.bloom = NewBloom(spillBloomKeyHint)
+	}
 
 	w := newSpillWriter(sj, "b/d0", schema, fanout)
 	spillBatch := func(b *colfile.Batch) error {
+		if b.Sel != nil {
+			// The partition loop below indexes rows physically; densify
+			// selection-carrying batches (from pushed-down scan predicates)
+			// before keying and spilling them.
+			b = b.Materialize()
+		}
 		var keyBuf []byte
 		for r := 0; r < b.NumRows(); r++ {
 			k, ok := appendRowKey(keyBuf[:0], b, keys, r)
 			keyBuf = k
 			if !ok {
 				continue // NULL build key: unmatched forever, drop
+			}
+			if sj.bloom != nil {
+				sj.bloom.Add(k)
 			}
 			if err := w.add(part(b, keys, r, k), b, r); err != nil {
 				return err
@@ -507,9 +539,16 @@ func (sj *SpilledJoin) JoinBatches(probe []*colfile.Batch, leftKeys []int, leftS
 	spillSchema := append(append(colfile.Schema{}, leftSchema...), rowNumField)
 	rowNumIdx := len(leftSchema)
 	w := newSpillWriter(sj, probeRoot, spillSchema, sj.fanout)
+	var pruned int64
 	for i, b := range probe {
 		if b == nil {
 			continue
+		}
+		if b.Sel != nil {
+			// ext shares b's column vectors and is indexed physically below;
+			// densify selection-carrying batches first so the ordinal column
+			// and the key encoding line up row for row.
+			b = b.Materialize()
 		}
 		ext := &colfile.Batch{Schema: spillSchema, Cols: make([]*colfile.Vec, len(spillSchema))}
 		copy(ext.Cols, b.Cols)
@@ -532,6 +571,13 @@ func (sj *SpilledJoin) JoinBatches(probe []*colfile.Batch, leftKeys []int, leftS
 					continue
 				}
 			} else {
+				if sj.bloom != nil && !sj.bloom.MayContain(k) {
+					// Runtime filter: provably no build match, so an inner or
+					// semi join emits nothing for this row — skip the spill
+					// round trip entirely.
+					pruned++
+					continue
+				}
 				p = sj.partition(ext, leftKeys, r, k)
 			}
 			if err := w.add(p, ext, r); err != nil {
@@ -542,6 +588,7 @@ func (sj *SpilledJoin) JoinBatches(probe []*colfile.Batch, leftKeys []int, leftS
 	if err := w.finish(); err != nil {
 		return nil, err
 	}
+	countPruned(&sj.bloomPruned, pruned)
 
 	// Join the depth-0 partitions — independent (build, probe) pairs — over
 	// the shared worker pool, recursing while a build side exceeds budget.

@@ -16,6 +16,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+
+	"polaris/internal/colfile"
 )
 
 // Op is the kind of change an action records.
@@ -52,6 +54,11 @@ type Action struct {
 	// Partition is the distribution bucket the file belongs to, d(r) in the
 	// paper's cell model.
 	Partition int `json:"partition,omitempty"`
+	// Sketches carries the sealed file's per-column statistics sketches
+	// (KindData; schema-aligned). Optional: actions from before the stats
+	// layer, or writers that skip them, simply leave the planner blind to
+	// this file's NDV/min-max (row counts still come from Rows).
+	Sketches []colfile.ColSketch `json:"sketches,omitempty"`
 }
 
 // Validate checks structural invariants of a single action.
@@ -107,6 +114,9 @@ type FileEntry struct {
 	DV          string `json:"dv,omitempty"`           // current deletion-vector file, if any
 	DeletedRows int64  `json:"deleted_rows,omitempty"` // cardinality of DV
 	AddedSeq    int64  `json:"added_seq"`              // commit sequence that added the file
+	// Sketches are the file's per-column statistics sketches, copied from the
+	// Add action (nil for files added before the stats layer existed).
+	Sketches []colfile.ColSketch `json:"sketches,omitempty"`
 }
 
 // LiveRows returns the visible row count of the file.
@@ -155,6 +165,7 @@ func (s *TableState) Apply(seq int64, actions []Action) error {
 			s.Files[a.Path] = &FileEntry{
 				Path: a.Path, Rows: a.Rows, Size: a.Size,
 				Partition: a.Partition, AddedSeq: seq,
+				Sketches: a.Sketches,
 			}
 		case a.Kind == KindData && a.Op == OpRemove:
 			if _, ok := s.Files[a.Path]; !ok {

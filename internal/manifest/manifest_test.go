@@ -2,6 +2,7 @@ package manifest
 
 import (
 	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -34,7 +35,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 3 || got[0] != actions[0] || got[1] != actions[1] || got[2] != actions[2] {
+	if !reflect.DeepEqual(got, actions) {
 		t.Fatalf("round trip: %+v", got)
 	}
 }

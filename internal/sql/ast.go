@@ -163,6 +163,12 @@ type RestoreStmt struct {
 	AsOfSeq int64
 }
 
+// ExplainStmt is EXPLAIN SELECT ...: render the cost-based physical plan as
+// text without executing the query.
+type ExplainStmt struct {
+	Query *SelectStmt
+}
+
 // ShowStmt is SHOW TABLES | SHOW STATS tbl.
 type ShowStmt struct {
 	What  string // "tables" or "stats"
@@ -186,5 +192,6 @@ func (CommitStmt) stmt()      {}
 func (RollbackStmt) stmt()    {}
 func (CloneStmt) stmt()       {}
 func (RestoreStmt) stmt()     {}
+func (*ExplainStmt) stmt()    {}
 func (ShowStmt) stmt()        {}
 func (MaintenanceStmt) stmt() {}

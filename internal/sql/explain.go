@@ -1,0 +1,205 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"polaris/internal/colfile"
+	"polaris/internal/core"
+)
+
+// runExplain plans a SELECT without executing it and renders the physical
+// plan as a one-column batch, one operator per row in execution order: the
+// base scan first, then each join build, then the residual filter and the
+// statement tail. The text is deterministic for a fixed snapshot (estimates
+// come from the merged sketches), so golden tests can pin it.
+func runExplain(tx *core.Txn, st *SelectStmt) (*Result, error) {
+	plan := planSelect(tx, st)
+	schema := colfile.Schema{{Name: "plan", Type: colfile.String}}
+	b := colfile.NewBatch(schema)
+	for _, line := range plan.describe() {
+		if err := b.AppendRow(line); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Batch: b}, nil
+}
+
+// describe renders the plan, one line per operator.
+func (p *physPlan) describe() []string {
+	st := p.st
+	var lines []string
+
+	lines = append(lines, p.scanLine(st.From))
+	for i, j := range st.Joins {
+		lines = append(lines, p.joinLine(i, j))
+	}
+	if st.Where != nil {
+		lines = append(lines, "filter "+exprString(st.Where))
+	}
+	if selectHasAgg(st) {
+		var groups []string
+		for _, g := range st.GroupBy {
+			groups = append(groups, exprString(g))
+		}
+		line := "aggregate"
+		if len(groups) > 0 {
+			line += " [groups=" + strings.Join(groups, ", ") + "]"
+		}
+		if st.Having != nil {
+			line += " [having=" + exprString(st.Having) + "]"
+		}
+		lines = append(lines, line)
+	}
+	if len(st.OrderBy) > 0 {
+		var keys []string
+		for _, o := range st.OrderBy {
+			k := exprString(o.Expr)
+			if o.Desc {
+				k += " DESC"
+			}
+			keys = append(keys, k)
+		}
+		lines = append(lines, "sort ["+strings.Join(keys, ", ")+"]")
+	}
+	if st.Limit >= 0 {
+		line := "limit " + strconv.FormatInt(st.Limit, 10)
+		if st.Offset > 0 {
+			line += " offset " + strconv.FormatInt(st.Offset, 10)
+		}
+		lines = append(lines, line)
+	}
+	var names []string
+	for _, it := range st.Items {
+		if it.Star {
+			names = append(names, "*")
+			continue
+		}
+		if n := itemName(it); n != "" {
+			names = append(names, n)
+		} else {
+			names = append(names, exprString(it.Expr))
+		}
+	}
+	lines = append(lines, "project ["+strings.Join(names, ", ")+"]")
+	return lines
+}
+
+// scanLine renders the probe-base scan: projected columns, pushed
+// predicates and the estimated output cardinality.
+func (p *physPlan) scanLine(ref TableRef) string {
+	line := "scan " + refString(ref)
+	if cols := p.colsFor(ref); cols != nil {
+		line += " [cols=" + strings.Join(cols, ", ") + "]"
+	}
+	if pushed := p.pushedFor(ref); len(pushed) > 0 {
+		line += " [pushed=" + exprString(andFold(pushed)) + "]"
+	}
+	line += " [est=" + p.estString(ref) + "]"
+	return line
+}
+
+// joinLine renders one join build: the build relation (with its own
+// projection/pushdown), the key condition, the join type, whether a bloom
+// runtime filter prunes the probe side, and whether cost-based reordering
+// moved this build relative to the syntactic statement.
+func (p *physPlan) joinLine(i int, j JoinClause) string {
+	line := "join build " + refString(j.Table)
+	if cols := p.colsFor(j.Table); cols != nil {
+		line += " [cols=" + strings.Join(cols, ", ") + "]"
+	}
+	if pushed := p.pushedFor(j.Table); len(pushed) > 0 {
+		line += " [pushed=" + exprString(andFold(pushed)) + "]"
+	}
+	line += " [on=" + exprString(j.On) + "]"
+	if j.Left {
+		line += " [left outer]"
+	} else {
+		line += " [inner, bloom]"
+	}
+	line += " [est=" + p.estString(j.Table) + "]"
+	if t, ok := p.tables[strings.ToLower(aliasOf(j.Table))]; ok && p.reordered && t.pos != i+1 {
+		line += " [reordered]"
+	}
+	return line
+}
+
+// estString formats a relation's estimated post-filter cardinality.
+func (p *physPlan) estString(ref TableRef) string {
+	t, ok := p.tables[strings.ToLower(aliasOf(ref))]
+	if !ok || t.est < 0 {
+		return "? rows"
+	}
+	return strconv.FormatInt(int64(t.est+0.5), 10) + " rows"
+}
+
+func refString(ref TableRef) string {
+	if ref.Alias != "" && !strings.EqualFold(ref.Alias, ref.Name) {
+		return ref.Name + " AS " + ref.Alias
+	}
+	return ref.Name
+}
+
+// exprString renders an AST expression for plan output. Binary operations
+// are parenthesized, which keeps the rendering unambiguous and stable.
+func exprString(e Expr) string {
+	switch x := e.(type) {
+	case ColName:
+		return displayName(x)
+	case Lit:
+		return litString(x.Val)
+	case BinExpr:
+		return "(" + exprString(x.L) + " " + x.Op + " " + exprString(x.R) + ")"
+	case NotExpr:
+		return "NOT " + exprString(x.E)
+	case IsNullExpr:
+		if x.Negate {
+			return exprString(x.E) + " IS NOT NULL"
+		}
+		return exprString(x.E) + " IS NULL"
+	case LikeExpr:
+		op := " LIKE "
+		if x.Negate {
+			op = " NOT LIKE "
+		}
+		return exprString(x.E) + op + litString(x.Pattern)
+	case InExpr:
+		var vals []string
+		for _, v := range x.Vals {
+			vals = append(vals, litString(v))
+		}
+		op := " IN ("
+		if x.Negate {
+			op = " NOT IN ("
+		}
+		return exprString(x.E) + op + strings.Join(vals, ", ") + ")"
+	case BetweenExpr:
+		return exprString(x.E) + " BETWEEN " + exprString(x.Lo) + " AND " + exprString(x.Hi)
+	case FuncExpr:
+		if x.Star {
+			return x.Name + "(*)"
+		}
+		return x.Name + "(" + exprString(x.Arg) + ")"
+	}
+	return fmt.Sprintf("%v", e)
+}
+
+func litString(v any) string {
+	switch x := v.(type) {
+	case nil:
+		return "NULL"
+	case string:
+		return "'" + x + "'"
+	case bool:
+		if x {
+			return "TRUE"
+		}
+		return "FALSE"
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	}
+	return fmt.Sprintf("%v", v)
+}

@@ -45,6 +45,7 @@ var keywords = map[string]bool{
 	"MIN": true, "MAX": true, "CLONE": true, "TO": true, "RESTORE": true,
 	"SHOW": true, "TABLES": true, "STATS": true, "EXISTS": true, "IF": true,
 	"COMPACT": true, "CHECKPOINT": true, "VACUUM": true, "DOUBLE": true,
+	"EXPLAIN": true,
 }
 
 // lex tokenizes the input; errors carry byte positions.

@@ -122,6 +122,12 @@ func (p *parser) statement() (Statement, error) {
 		return p.restoreStmt()
 	case p.at(tokKeyword, "SHOW"):
 		return p.showStmt()
+	case p.kw("EXPLAIN"):
+		sel, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &ExplainStmt{Query: sel.(*SelectStmt)}, nil
 	case p.kw("COMPACT"):
 		p.kw("TABLE")
 		name, err := p.ident()

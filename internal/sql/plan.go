@@ -48,6 +48,8 @@ func Execute(tx *core.Txn, st Statement) (*Result, error) {
 			return nil, err
 		}
 		return &Result{Batch: b}, nil
+	case *ExplainStmt:
+		return runExplain(tx, s.Query)
 	case *InsertStmt:
 		return runInsert(tx, s)
 	case *UpdateStmt:
@@ -250,9 +252,11 @@ func binOpKind(op string) (exec.BinKind, bool) {
 	return 0, false
 }
 
-// scanTable opens a table scan and returns its operator plus scope.
-func scanTable(tx *core.Txn, ref TableRef, hint *exec.PruneHint) (exec.Operator, *scope, error) {
-	op, _, err := tx.Scan(ref.Name, core.ScanOptions{AsOfSeq: ref.AsOfSeq, Prune: hint})
+// scanTable opens a table scan and returns its operator plus scope. The
+// physical plan (optional) projects the scan to the referenced columns and
+// pushes the relation's WHERE conjuncts into it.
+func scanTable(tx *core.Txn, ref TableRef, hint *exec.PruneHint, plan *physPlan) (exec.Operator, *scope, error) {
+	op, _, err := tx.Scan(ref.Name, core.ScanOptions{Columns: plan.colsFor(ref), AsOfSeq: ref.AsOfSeq, Prune: hint})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -265,7 +269,12 @@ func scanTable(tx *core.Txn, ref TableRef, hint *exec.PruneHint) (exec.Operator,
 	for i := range quals {
 		quals[i] = alias
 	}
-	return op, &scope{schema: schema, quals: quals}, nil
+	sc := &scope{schema: schema, quals: quals}
+	op, err = applyPushdown(op, sc, plan.pushedFor(ref))
+	if err != nil {
+		return nil, nil, err
+	}
+	return op, sc, nil
 }
 
 // prunableRange extracts a zone-map hint from the WHERE clause: a conjunct of
@@ -343,13 +352,22 @@ func prunableRange(where Expr, meta catalog.TableMeta, alias string) *exec.Prune
 }
 
 func runSelect(tx *core.Txn, st *SelectStmt) (*colfile.Batch, error) {
+	// Cost-based physical planning: stats-driven join reordering, predicate
+	// and projection pushdown. The plan rewrites the statement; everything
+	// below consumes the rewritten form, so the serial and parallel paths
+	// execute the same plan shape.
+	plan := planSelect(tx, st)
+	plan.recordWork(tx)
+	st = plan.st
 	meta, err := tx.Table(st.From.Name)
 	if err != nil {
 		return nil, err
 	}
 	var hint *exec.PruneHint
 	if len(st.Joins) == 0 {
-		hint = prunableRange(st.Where, meta, aliasOf(st.From))
+		// The hint is extracted from the original WHERE so conjuncts the
+		// planner pushed into the scan still contribute zone-map pruning.
+		hint = prunableRange(plan.where, meta, aliasOf(st.From))
 	}
 
 	// Grace-join spill context: the engine's JoinMemoryBudget plus a lazily
@@ -368,13 +386,13 @@ func runSelect(tx *core.Txn, st *SelectStmt) (*colfile.Batch, error) {
 	// parallel path would materialize every morsel first.
 	bareLimit := st.Limit >= 0 && len(st.OrderBy) == 0 && !selectHasAgg(st)
 	if tx.Parallelism() > 1 && !bareLimit {
-		b, handled, err := runSelectParallel(tx, st, meta, hint, spill)
+		b, handled, err := runSelectParallel(tx, plan, meta, hint, spill)
 		if handled {
 			return b, err
 		}
 	}
 
-	op, sc, err := scanTable(tx, st.From, hint)
+	op, sc, err := scanTable(tx, st.From, hint, plan)
 	if err != nil {
 		return nil, err
 	}
@@ -385,7 +403,7 @@ func runSelect(tx *core.Txn, st *SelectStmt) (*colfile.Batch, error) {
 	// build that overflows grace-spills and the probe joins partition-wise
 	// (byte-identical output either way).
 	for _, j := range st.Joins {
-		bj, jsc, err := bindJoin(tx, j, sc)
+		bj, jsc, err := bindJoin(tx, j, sc, plan)
 		if err != nil {
 			return nil, err
 		}
@@ -395,9 +413,17 @@ func runSelect(tx *core.Txn, st *SelectStmt) (*colfile.Batch, error) {
 		}
 		spill.track(src)
 		if src.Spilled != nil {
+			// The spilled path carries its own runtime filter, accumulated
+			// while the build drained; joinSpill.finish folds its pruned-row
+			// count into WorkStats.
 			op = &exec.SpilledProbe{In: op, Join: src.Spilled, LeftKeys: bj.leftKeys}
 		} else {
-			op = &exec.Probe{In: op, Table: src.Table, LeftKeys: bj.leftKeys}
+			pr := &exec.Probe{In: op, Table: src.Table, LeftKeys: bj.leftKeys}
+			if bj.typ != exec.LeftOuterJoin {
+				pr.Bloom = src.Table.BloomFilter()
+				pr.Pruned = &tx.Work().RuntimeFilterRows
+			}
+			op = pr
 		}
 		sc = jsc
 	}
@@ -469,8 +495,8 @@ type boundJoin struct {
 
 // bindJoin opens the join's right table, resolves the equi-join keys against
 // the current scope, and returns the binding plus the joined output scope.
-func bindJoin(tx *core.Txn, j JoinClause, sc *scope) (*boundJoin, *scope, error) {
-	rop, rsc, err := scanTable(tx, j.Table, nil)
+func bindJoin(tx *core.Txn, j JoinClause, sc *scope, plan *physPlan) (*boundJoin, *scope, error) {
+	rop, rsc, err := scanTable(tx, j.Table, nil, plan)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -566,6 +592,7 @@ func (s *joinSpill) finish() {
 	for _, sj := range s.spilled {
 		s.tx.Work().JoinSpillBytes.Add(sj.SpillBytes())
 		s.tx.Work().JoinSpillPartitions.Add(sj.PartitionsJoined())
+		s.tx.Work().RuntimeFilterRows.Add(sj.BloomPrunedRows())
 	}
 	if s.pending != nil {
 		_ = s.pending.Cleanup()
@@ -582,6 +609,10 @@ type probeStage struct {
 	src      *exec.JoinSource
 	leftKeys []int
 	typ      exec.JoinType
+	// bloom is the stage's runtime filter, derived once from the completed
+	// in-memory build and shared read-only by every probe worker (nil for
+	// LEFT OUTER, where probe rows survive regardless).
+	bloom *exec.Bloom
 }
 
 // runSpilledJoinStages executes a parallel SELECT's join pipeline when at
@@ -593,26 +624,21 @@ type probeStage struct {
 // (whose per-morsel outputs are byte-identical to in-memory probes of the
 // same batches). Morsel order, and with it the downstream determinism
 // contract, is preserved throughout.
-func runSpilledJoinStages(tx *core.Txn, ms *core.MorselScan, dop int, stages []probeStage, hint *exec.PruneHint) ([]*colfile.Batch, error) {
+func runSpilledJoinStages(tx *core.Txn, ms *core.MorselScan, dop int, stages []probeStage, hint *exec.PruneHint, base *baseScanPlan) ([]*colfile.Batch, error) {
 	cur, err := exec.RunMorsels(ms.Morsels, dop, func(m exec.Morsel) (exec.Operator, error) {
-		s, err := exec.NewMorselScan(m, nil, hint, ms.Tel)
-		if err != nil {
-			return nil, err
-		}
-		if err := s.SetSchema(ms.Schema); err != nil {
-			return nil, err
-		}
-		return s, nil
+		return base.fragment(m, ms, hint)
 	})
 	if err != nil {
 		return nil, err
 	}
-	leftSchema := ms.Schema
+	leftSchema := base.schema
 	for _, ps := range stages {
 		if ps.src.Table != nil {
-			table, keys := ps.src.Table, ps.leftKeys
+			table, keys, bloom := ps.src.Table, ps.leftKeys, ps.bloom
+			pruned := &tx.Work().RuntimeFilterRows
 			cur, err = exec.RunBatches(cur, dop, func(_ int, b *colfile.Batch) (exec.Operator, error) {
-				return &exec.Probe{In: exec.NewBatchSource(b), Table: table, LeftKeys: keys, Tel: ms.Tel}, nil
+				return &exec.Probe{In: exec.NewBatchSource(b), Table: table, LeftKeys: keys, Tel: ms.Tel,
+					Bloom: bloom, Pruned: pruned}, nil
 			})
 		} else {
 			cur, err = ps.src.Spilled.JoinBatches(cur, ps.leftKeys, leftSchema, dop)
@@ -625,6 +651,66 @@ func runSpilledJoinStages(tx *core.Txn, ms *core.MorselScan, dop int, stages []p
 		}
 	}
 	return cur, nil
+}
+
+// baseScanPlan is the parallel path's per-morsel scan recipe for the probe
+// base: the projected columns, the resulting scan schema, and the pushed
+// predicate (bound and compiled once per statement, shared read-only by the
+// morsel workers — each scan owns its EvalCtx).
+type baseScanPlan struct {
+	cols   []string
+	schema colfile.Schema // projected scan output schema
+	pred   exec.Expr      // pushed conjunction (nil = none)
+	prog   *exec.Prog     // compiled form (nil = Filter fallback)
+}
+
+// newBaseScanPlan resolves the physical plan's projection and pushdown
+// decisions for the probe base against a morsel scan's full table schema.
+func newBaseScanPlan(plan *physPlan, ref TableRef, ms *core.MorselScan) (*baseScanPlan, error) {
+	b := &baseScanPlan{cols: plan.colsFor(ref), schema: ms.Schema}
+	if b.cols != nil {
+		proj := make(colfile.Schema, len(b.cols))
+		for i, name := range b.cols {
+			idx := ms.Schema.ColIndex(name)
+			if idx < 0 {
+				return nil, fmt.Errorf("sql: unknown column %q", name)
+			}
+			proj[i] = ms.Schema[idx]
+		}
+		b.schema = proj
+	}
+	if conj := plan.pushedFor(ref); len(conj) > 0 {
+		sc := singleTableScope(b.schema, aliasOf(ref))
+		pred, err := bind(andFold(conj), sc)
+		if err != nil {
+			return nil, err
+		}
+		b.pred = pred
+		if pr, cerr := exec.Compile(pred, b.schema); cerr == nil {
+			b.prog = pr
+		}
+	}
+	return b, nil
+}
+
+// fragment opens one morsel's scan with the plan's projection and pushed
+// predicate applied. Rows a pushed predicate rejects are dropped inside the
+// scan, before unreferenced columns are even decoded.
+func (b *baseScanPlan) fragment(m exec.Morsel, ms *core.MorselScan, hint *exec.PruneHint) (exec.Operator, error) {
+	s, err := exec.NewMorselScan(m, b.cols, hint, ms.Tel)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.SetSchema(ms.Schema); err != nil {
+		return nil, err
+	}
+	var op exec.Operator = s
+	if b.pred != nil {
+		if b.prog == nil || !s.PushPredicate(b.prog) {
+			op = &exec.Filter{In: op, Pred: b.pred, Prog: b.prog, Tel: ms.Tel}
+		}
+	}
+	return op, nil
 }
 
 // groupByCoversDistCol reports whether a GROUP BY item names the table's
@@ -669,7 +755,8 @@ func groupByCoversDistCol(st *SelectStmt, distCol, alias string) bool {
 // join runs partition-wise, producing per-morsel outputs byte-identical to
 // the in-memory probes', so everything downstream of the join stages is
 // unchanged.
-func runSelectParallel(tx *core.Txn, st *SelectStmt, meta catalog.TableMeta, hint *exec.PruneHint, spill *joinSpill) (*colfile.Batch, bool, error) {
+func runSelectParallel(tx *core.Txn, plan *physPlan, meta catalog.TableMeta, hint *exec.PruneHint, spill *joinSpill) (*colfile.Batch, bool, error) {
+	st := plan.st
 	dop, release := tx.LeaseDOP(tx.Parallelism())
 	defer release()
 	alias := aliasOf(st.From)
@@ -697,11 +784,11 @@ func runSelectParallel(tx *core.Txn, st *SelectStmt, meta catalog.TableMeta, hin
 		return nil, false, nil // empty table: serial path supplies the schema
 	}
 
-	quals := make([]string, len(ms.Schema))
-	for i := range quals {
-		quals[i] = alias
+	base, err := newBaseScanPlan(plan, st.From, ms)
+	if err != nil {
+		return nil, true, err
 	}
-	sc := &scope{schema: ms.Schema, quals: quals}
+	sc := singleTableScope(base.schema, alias)
 
 	// Joins: drain each right side once under the join memory budget —
 	// into an immutable shared JoinTable while it fits (the build itself is
@@ -710,7 +797,7 @@ func runSelectParallel(tx *core.Txn, st *SelectStmt, meta catalog.TableMeta, hin
 	var stages []probeStage
 	anySpilled := false
 	for _, j := range st.Joins {
-		bj, jsc, err := bindJoin(tx, j, sc)
+		bj, jsc, err := bindJoin(tx, j, sc, plan)
 		if err != nil {
 			return nil, true, err
 		}
@@ -722,7 +809,11 @@ func runSelectParallel(tx *core.Txn, st *SelectStmt, meta catalog.TableMeta, hin
 		if src.Spilled != nil {
 			anySpilled = true
 		}
-		stages = append(stages, probeStage{src: src, leftKeys: bj.leftKeys, typ: bj.typ})
+		ps := probeStage{src: src, leftKeys: bj.leftKeys, typ: bj.typ}
+		if src.Table != nil && bj.typ != exec.LeftOuterJoin {
+			ps.bloom = src.Table.BloomFilter()
+		}
+		stages = append(stages, ps)
 		sc = jsc
 	}
 
@@ -754,18 +845,15 @@ func runSelectParallel(tx *core.Txn, st *SelectStmt, meta catalog.TableMeta, hin
 	// determinism are unchanged.
 	var runFragments func(suffix func(exec.Operator) (exec.Operator, error)) ([]*colfile.Batch, error)
 	if !anySpilled {
+		pruned := &tx.Work().RuntimeFilterRows
 		fragment := func(m exec.Morsel) (exec.Operator, error) {
-			var op exec.Operator
-			s, err := exec.NewMorselScan(m, nil, hint, ms.Tel)
+			op, err := base.fragment(m, ms, hint)
 			if err != nil {
 				return nil, err
 			}
-			if err := s.SetSchema(ms.Schema); err != nil {
-				return nil, err
-			}
-			op = s
 			for _, ps := range stages {
-				op = &exec.Probe{In: op, Table: ps.src.Table, LeftKeys: ps.leftKeys, Tel: ms.Tel}
+				op = &exec.Probe{In: op, Table: ps.src.Table, LeftKeys: ps.leftKeys, Tel: ms.Tel,
+					Bloom: ps.bloom, Pruned: pruned}
 			}
 			if pred != nil {
 				op = &exec.Filter{In: op, Pred: pred, Prog: predProg, Tel: ms.Tel}
@@ -782,7 +870,7 @@ func runSelectParallel(tx *core.Txn, st *SelectStmt, meta catalog.TableMeta, hin
 			})
 		}
 	} else {
-		joined, err := runSpilledJoinStages(tx, ms, dop, stages, hint)
+		joined, err := runSpilledJoinStages(tx, ms, dop, stages, hint, base)
 		if err != nil {
 			return nil, true, err
 		}
@@ -829,7 +917,7 @@ func runSelectParallel(tx *core.Txn, st *SelectStmt, meta catalog.TableMeta, hin
 			Groups: len(ap.groupBy), Aggs: ap.aggs, MergeFree: mergeFree, Tel: ms.Tel,
 		}
 		if ap.having != nil {
-			outOp = &exec.Filter{In: outOp, Pred: ap.having}
+			outOp = &exec.Filter{In: outOp, Pred: ap.having, Prog: compileHaving(ap.having, outOp.Schema())}
 		}
 		outOp = &exec.Project{In: outOp, Exprs: ap.outExprs, Names: ap.outNames}
 	} else {
@@ -1072,9 +1160,21 @@ func planAggregate(st *SelectStmt, op exec.Operator, sc *scope) (exec.Operator, 
 	}
 	var out exec.Operator = &exec.HashAgg{In: op, GroupBy: ap.groupBy, Aggs: ap.aggs}
 	if ap.having != nil {
-		out = &exec.Filter{In: out, Pred: ap.having}
+		out = &exec.Filter{In: out, Pred: ap.having, Prog: compileHaving(ap.having, out.Schema())}
 	}
 	return &exec.Project{In: out, Exprs: ap.outExprs, Names: ap.outNames}, nil
+}
+
+// compileHaving lowers a HAVING predicate into a kernel program against the
+// aggregate's output schema, once per statement — the same treatment WHERE
+// predicates get. Nil on failure: the Filter then compiles or falls back
+// itself.
+func compileHaving(having exec.Expr, schema colfile.Schema) *exec.Prog {
+	p, err := exec.Compile(having, schema)
+	if err != nil {
+		return nil
+	}
+	return p
 }
 
 // buildAggPlan binds an aggregate query's pieces against the input scope.

@@ -361,9 +361,10 @@ func TestConcurrentPartitionJoins(t *testing.T) {
 		t.Fatal("reference query returned no rows")
 	}
 
-	// Below even the 0.05-scale customer build (~0.5 KiB), so BOTH builds of
-	// the statement overflow, not just orders.
-	const twoBuildBudget = 256
+	// Below even the 0.05-scale customer build — now just the pruned
+	// c_custkey column (~0.1 KiB) after scan projection pushdown — so BOTH
+	// builds of the statement overflow, not just orders.
+	const twoBuildBudget = 64
 
 	var wantParts int64 = -1
 	for _, dop := range []int{1, 4, 8} {
