@@ -6,9 +6,9 @@ GO ?= go
 # Output of the machine-readable micro-benchmark run. Parameterized so each
 # PR bumps one variable (or CI overrides it) instead of editing the target:
 #   make bench-json BENCH_JSON=BENCH_PR5.json
-BENCH_JSON ?= BENCH_PR7.json
+BENCH_JSON ?= BENCH_PR8.json
 
-.PHONY: build lint test race bench-smoke bench-json fuzz-smoke docs ci
+.PHONY: build lint test race bench-smoke bench-json fuzz-smoke server-smoke docs ci
 
 build:
 	$(GO) build ./...
@@ -31,9 +31,11 @@ test:
 # drives it — including the grace-join spill path (root spill_test.go and
 # internal/exec/spill_test.go run tiny-budget spilling joins, the parallel
 # partition-wise fan-out, and concurrent JoinBatches calls under -race on
-# every push).
+# every push), the queued-admission fabric leasing, and the multi-session
+# HTTP server (bounded concurrent-traffic stress with STO maintenance, the
+# admission unit suite, and the two-session interleaved-transaction test).
 race:
-	$(GO) test -race -short . ./internal/exec/...
+	$(GO) test -race -short . ./internal/exec/... ./internal/compute/... ./internal/server/...
 
 # One iteration of every parallel-executor benchmark (scan, join, spilled
 # join, sort, top-N): catches bit-rot in the benchmark harness (and the
@@ -61,6 +63,13 @@ fuzz-smoke:
 	$(GO) test -run NONE -fuzz '^FuzzBatchSpillRoundTrip$$' -fuzztime 5s ./internal/colfile
 	$(GO) test -run NONE -fuzz '^FuzzKernelEquivalence$$' -fuzztime 5s ./internal/exec
 
+# End-to-end lifecycle gate for the multi-session HTTP front end: boots
+# polaris-server on an ephemeral port, health-checks it, runs DDL + DML + a
+# query over HTTP, scrapes /metrics, drains, and verifies nothing leaked
+# (zero leased slots, zero sessions). See docs/SERVER.md.
+server-smoke:
+	$(GO) run ./cmd/polaris-server -smoke
+
 # Documentation gate: every relative markdown link AND #fragment anchor in
 # the doc set must resolve, benchmark-snapshot references must not be stale
 # relative to $(BENCH_JSON), docs/PERF.md must match the committed
@@ -70,7 +79,8 @@ fuzz-smoke:
 docs:
 	$(GO) run ./cmd/doccheck -bench-default $(BENCH_JSON) \
 		README.md ROADMAP.md PAPER.md \
-		docs/ARCHITECTURE.md docs/VECTORIZATION.md docs/PLANNER.md docs/PERF.md
+		docs/ARCHITECTURE.md docs/VECTORIZATION.md docs/PLANNER.md docs/PERF.md \
+		docs/SERVER.md
 	$(GO) run ./cmd/doccheck CHANGES.md  # historical log: links only, past defaults allowed
 	$(GO) run ./cmd/perfdoc -check
 	@$(GO) doc . >/dev/null
@@ -78,4 +88,4 @@ docs:
 	@$(GO) doc ./internal/colfile >/dev/null
 	@echo "docs OK"
 
-ci: build lint test race fuzz-smoke bench-smoke docs
+ci: build lint test race fuzz-smoke bench-smoke server-smoke docs

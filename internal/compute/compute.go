@@ -11,6 +11,8 @@
 package compute
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -306,6 +308,15 @@ type Fabric struct {
 	slots              int
 	provisioned        int // nodes ever provisioned (elasticity metric)
 	leasedSlots        int // slots currently leased for intra-query parallelism
+	waiters            []*slotWaiter
+}
+
+// slotWaiter is one queued LeaseSlotsCtx call: granted leases arrive on ch
+// (buffered so the granter never blocks), and a waiter that gives up removes
+// itself from the queue under f.mu before returning.
+type slotWaiter struct {
+	want int
+	ch   chan *SlotLease
 }
 
 // Config configures a Fabric.
@@ -400,6 +411,8 @@ func (f *Fabric) AllocateForJob(want int) ([]*Node, time.Duration) {
 	if added > 0 {
 		// provisioning proceeds in parallel; one delay covers the batch
 		delay = f.model.ProvisionDelay
+		// growth frees capacity: queued lease waiters can now be admitted
+		f.wakeWaitersLocked()
 	}
 	live := make([]*Node, 0, needNodes)
 	for _, n := range f.nodes {
@@ -463,6 +476,7 @@ func (l *SlotLease) Release() {
 	l.released = true
 	l.f.mu.Lock()
 	l.f.leasedSlots -= l.n
+	l.f.wakeWaitersLocked()
 	l.f.mu.Unlock()
 }
 
@@ -494,6 +508,99 @@ func (f *Fabric) LeasedSlots() int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.leasedSlots
+}
+
+// FreeSlots reports the slots not currently leased. It can be negative:
+// LeaseSlots always grants at least one slot, so heavy contention may
+// over-subscribe the fabric (queries degrade rather than deadlock).
+func (f *Fabric) FreeSlots() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.totalSlotsLocked() - f.leasedSlots
+}
+
+// QueuedLeases reports how many LeaseSlotsCtx calls are waiting for slots.
+func (f *Fabric) QueuedLeases() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.waiters)
+}
+
+// ErrQueueFull is returned by LeaseSlotsCtx when the fabric has no free
+// slots and the waiter queue is already at its configured depth.
+var ErrQueueFull = errors.New("compute: lease queue full")
+
+// LeaseSlotsCtx is the admission-control variant of LeaseSlots: when the
+// fabric has free slots (and no earlier waiter is queued) it grants
+// min(want, free) immediately, exactly like LeaseSlots except that it never
+// over-subscribes. When leases have run dry the call joins a FIFO waiter
+// queue and blocks until a release (or topology growth) frees slots, the
+// context is canceled, or its deadline expires. maxQueued bounds the queue:
+// a call arriving when maxQueued waiters are already queued fails fast with
+// ErrQueueFull (maxQueued < 0 means unbounded, 0 means never queue).
+//
+// The returned queued flag reports whether the call had to wait, on success
+// and failure alike, so callers can count queueing separately from grants.
+func (f *Fabric) LeaseSlotsCtx(ctx context.Context, want, maxQueued int) (lease *SlotLease, queued bool, err error) {
+	if want < 1 {
+		want = 1
+	}
+	f.mu.Lock()
+	if len(f.waiters) == 0 {
+		if free := f.totalSlotsLocked() - f.leasedSlots; free > 0 {
+			grant := min(want, free)
+			f.leasedSlots += grant
+			f.mu.Unlock()
+			return &SlotLease{f: f, n: grant}, false, nil
+		}
+	}
+	if maxQueued >= 0 && len(f.waiters) >= maxQueued {
+		f.mu.Unlock()
+		return nil, false, ErrQueueFull
+	}
+	w := &slotWaiter{want: want, ch: make(chan *SlotLease, 1)}
+	f.waiters = append(f.waiters, w)
+	f.mu.Unlock()
+
+	select {
+	case l := <-w.ch:
+		return l, true, nil
+	case <-ctx.Done():
+		f.mu.Lock()
+		for i, x := range f.waiters {
+			if x == w {
+				f.waiters = append(f.waiters[:i], f.waiters[i+1:]...)
+				break
+			}
+		}
+		f.mu.Unlock()
+		// A grant may have raced ahead of the dequeue (wakeWaitersLocked
+		// sends under f.mu, so after the removal above either the lease is
+		// already in ch or it will never arrive): hand it straight back.
+		select {
+		case l := <-w.ch:
+			l.Release()
+		default:
+		}
+		return nil, true, ctx.Err()
+	}
+}
+
+// wakeWaitersLocked grants slots to queued waiters in FIFO order while free
+// slots remain. Callers hold f.mu; the grant channel is buffered so the send
+// never blocks under the lock.
+func (f *Fabric) wakeWaitersLocked() {
+	for len(f.waiters) > 0 {
+		free := f.totalSlotsLocked() - f.leasedSlots
+		if free < 1 {
+			return
+		}
+		w := f.waiters[0]
+		f.waiters = f.waiters[1:]
+		grant := min(w.want, free)
+		f.leasedSlots += grant
+		w.ch <- &SlotLease{f: f, n: grant}
+	}
 }
 
 // KillNode removes node id from the topology; returns false if unknown.

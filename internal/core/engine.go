@@ -170,6 +170,12 @@ type WorkStats struct {
 	// partitioning alike). Row-based, so DOP-invariant: tests assert on it
 	// across the DOP × budget sweep.
 	RuntimeFilterRows atomic.Int64
+	// Admission tracks front-door admission-control traffic when a serving
+	// process (cmd/polaris-server) multiplexes concurrent sessions over the
+	// fabric's slot pool: statements queued/admitted/rejected plus total
+	// queue-wait time. Zero for embedded (library/CLI) use, where statements
+	// lease slots directly without admission.
+	Admission compute.AdmissionCounters
 }
 
 // Snapshot returns a plain-values copy of the counters.

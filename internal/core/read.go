@@ -367,9 +367,22 @@ func (t *Txn) ScanCellMorsels(table string, asOfSeq int64) (*MorselScan, error) 
 // Parallelism returns the engine's configured intra-query parallelism target.
 func (t *Txn) Parallelism() int { return t.eng.opts.Parallelism }
 
-// JoinMemoryBudget returns the configured hash-join build-side memory budget
-// in bytes (0 or negative = unlimited, never spill).
-func (t *Txn) JoinMemoryBudget() int64 { return t.eng.opts.JoinMemoryBudget }
+// JoinMemoryBudget returns the hash-join build-side memory budget in bytes
+// for this transaction: the per-transaction override when one was set (see
+// SetJoinMemoryBudget), the engine-wide configuration otherwise (0 or
+// negative = unlimited, never spill).
+func (t *Txn) JoinMemoryBudget() int64 {
+	if t.joinBudget != nil {
+		return *t.joinBudget
+	}
+	return t.eng.opts.JoinMemoryBudget
+}
+
+// SetJoinMemoryBudget overrides the engine-wide JoinMemoryBudget for this
+// transaction only — the hook a serving front end uses to give each session
+// its own memory budget (0 or negative = unlimited). Call before the
+// statement's joins start draining their build sides.
+func (t *Txn) SetJoinMemoryBudget(b int64) { t.joinBudget = &b }
 
 // Distributions returns the engine's distribution bucket count — the cell
 // count of d(r), which a cell-aligned grace-join spill partitions by.
@@ -392,11 +405,37 @@ func (t *Txn) Work() *WorkStats { return &t.eng.Work }
 
 // LeaseDOP reserves up to want worker slots on the fabric for this query's
 // morsel workers, returning the granted degree of parallelism and a release
-// function (safe to call more than once).
+// function (safe to call more than once). When the front end has adopted an
+// admission-granted lease onto the transaction (AdoptLease), that grant is
+// returned instead — capped at want — and the release is a no-op because
+// the admission layer owns the lease's lifetime.
 func (t *Txn) LeaseDOP(want int) (int, func()) {
+	if t.adoptedDOP > 0 {
+		n := t.adoptedDOP
+		if want > 0 && n > want {
+			n = want
+		}
+		return n, func() {}
+	}
 	lease := t.eng.Fabric.LeaseSlots(want)
 	return lease.Granted(), lease.Release
 }
+
+// AdoptLease hands the transaction a worker-slot count that an admission
+// controller already leased from the fabric for the current statement;
+// LeaseDOP will return it instead of leasing again (avoiding the double
+// accounting of an admission slot plus an executor slot for one statement).
+// The caller keeps ownership of the underlying lease and must clear the
+// adoption (ClearAdoptedLease) before releasing it.
+func (t *Txn) AdoptLease(granted int) {
+	if granted > 0 {
+		t.adoptedDOP = granted
+	}
+}
+
+// ClearAdoptedLease detaches the admission-granted slot count set by
+// AdoptLease, returning the transaction to direct fabric leasing.
+func (t *Txn) ClearAdoptedLease() { t.adoptedDOP = 0 }
 
 // ReadAll is a convenience that scans a table and materializes all rows.
 func (t *Txn) ReadAll(table string) (*ResultSet, error) {

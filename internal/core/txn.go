@@ -49,6 +49,14 @@ type Txn struct {
 	started time.Time
 	sim     time.Duration
 	done    bool
+	// joinBudget, when non-nil, overrides the engine-wide JoinMemoryBudget
+	// for this transaction (per-session budgets in a serving front end).
+	joinBudget *int64
+	// adoptedDOP, when > 0, is an admission-granted worker-slot count the
+	// front end already holds for the current statement: LeaseDOP returns
+	// it instead of leasing from the fabric again (the lease's owner
+	// releases it when the statement finishes).
+	adoptedDOP int
 }
 
 // ID returns the durable transaction identifier.

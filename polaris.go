@@ -208,7 +208,19 @@ func (db *DB) MustExec(query string) *Rows {
 // Query is an alias of Exec for read statements.
 func (db *DB) Query(query string) (*Rows, error) { return db.Exec(query) }
 
-// Session opens an independent session (its own transaction scope).
+// Session opens an independent session with its own transaction scope and
+// (optionally) its own memory budget.
+//
+// Concurrency: a single Session — including the DB's implicit main session
+// that Exec/Query/MustExec run on — is a serial statement stream and must
+// not be used from multiple goroutines at once (its open-transaction state
+// is unsynchronized). Independent Sessions over one DB are fully
+// concurrent and safe under the race detector: the engine, catalog MVCC,
+// compute fabric and object store are thread-safe, and concurrent sessions
+// interact only through the configured transactional isolation level. For
+// concurrent work, open one Session per goroutine; see
+// TestTwoSessionsInterleavedTransactions for the supported pattern and
+// cmd/polaris-server for a front end that multiplexes many such sessions.
 func (db *DB) Session() *Session {
 	return &Session{s: sql.NewSession(db.eng)}
 }
@@ -241,6 +253,13 @@ func (s *Session) MustExec(query string) *Rows {
 	}
 	return r
 }
+
+// SetJoinMemoryBudget gives this session its own hash-join build-side
+// memory budget in bytes, overriding Config.JoinMemoryBudget for every
+// transaction the session begins from now on (0 or negative = unlimited).
+// This is the per-session budget hook a multi-tenant front end uses to
+// isolate sessions' spill behavior from each other.
+func (s *Session) SetJoinMemoryBudget(b int64) { s.s.SetJoinMemoryBudget(b) }
 
 // InTransaction reports whether BEGIN is open.
 func (s *Session) InTransaction() bool { return s.s.InTransaction() }
