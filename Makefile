@@ -6,7 +6,7 @@ GO ?= go
 # Output of the machine-readable micro-benchmark run. Parameterized so each
 # PR bumps one variable (or CI overrides it) instead of editing the target:
 #   make bench-json BENCH_JSON=BENCH_PR5.json
-BENCH_JSON ?= BENCH_PR8.json
+BENCH_JSON ?= BENCH_PR9.json
 
 .PHONY: build lint test race bench-smoke bench-json fuzz-smoke server-smoke docs ci
 
@@ -33,9 +33,11 @@ test:
 # partition-wise fan-out, and concurrent JoinBatches calls under -race on
 # every push), the queued-admission fabric leasing, and the multi-session
 # HTTP server (bounded concurrent-traffic stress with STO maintenance, the
-# admission unit suite, and the two-session interleaved-transaction test).
+# admission unit suite, and the two-session interleaved-transaction test),
+# and the DCP task scheduler (retry/re-placement and the RunCtx cancellation
+# watcher exercised by the distributed-query DAG path).
 race:
-	$(GO) test -race -short . ./internal/exec/... ./internal/compute/... ./internal/server/...
+	$(GO) test -race -short . ./internal/exec/... ./internal/compute/... ./internal/server/... ./internal/dcp/...
 
 # One iteration of every parallel-executor benchmark (scan, join, spilled
 # join, sort, top-N): catches bit-rot in the benchmark harness (and the
@@ -80,7 +82,7 @@ docs:
 	$(GO) run ./cmd/doccheck -bench-default $(BENCH_JSON) \
 		README.md ROADMAP.md PAPER.md \
 		docs/ARCHITECTURE.md docs/VECTORIZATION.md docs/PLANNER.md docs/PERF.md \
-		docs/SERVER.md
+		docs/SERVER.md docs/DCP-QUERIES.md
 	$(GO) run ./cmd/doccheck CHANGES.md  # historical log: links only, past defaults allowed
 	$(GO) run ./cmd/perfdoc -check
 	@$(GO) doc . >/dev/null

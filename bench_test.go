@@ -427,3 +427,43 @@ func BenchmarkAblationWLM(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkParallelDAGQuery — distributed query execution: the same
+// join+aggregate SELECT through the in-process morsel executor
+// (DistributedQueries off) and as a DCP task DAG with object-store exchange
+// (on), at growing DOP. The DAG path pays the exchange serialization tax for
+// fault-tolerant re-runnable stages; this benchmark tracks that overhead and
+// pins byte-identity between the two paths on the first iteration of every
+// sub-benchmark. (At dop=1 the gate keeps the statement on the serial path,
+// so that sub-benchmark is the no-DAG baseline: tasks/op = 0.)
+func BenchmarkParallelDAGQuery(b *testing.B) {
+	for _, dop := range []int{1, 4, 8} {
+		morsel, err := bench.PrepareDAGQuery(false, dop)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out, err := morsel.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		want := renderBenchRows(out)
+		h, err := bench.PrepareDAGQuery(true, dop)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("dop=%d", dop), func(b *testing.B) {
+			b.ReportAllocs()
+			tasksBefore := h.DagTasks()
+			for i := 0; i < b.N; i++ {
+				out, err := h.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 && renderBenchRows(out) != want {
+					b.Fatalf("dop=%d: DAG output differs from morsel executor", dop)
+				}
+			}
+			b.ReportMetric(float64(h.DagTasks()-tasksBefore)/float64(b.N), "tasks/op")
+		})
+	}
+}

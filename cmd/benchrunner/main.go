@@ -200,6 +200,35 @@ func runMicroJSON(path string) error {
 		record("ParallelTopN", dop, r)
 	}
 
+	// Distributed DAG execution vs the in-process morsel path for the same
+	// SQL join+aggregate: the pair quantifies the object-store exchange tax
+	// (dop=1 stays on the serial path by the planner gate, so only 4/8 are
+	// measured distributed).
+	for _, dop := range []int{1, 4, 8} {
+		for _, distributed := range []bool{false, true} {
+			name := "ParallelDAGQuery/morsel"
+			if distributed {
+				if dop == 1 {
+					continue
+				}
+				name = "ParallelDAGQuery/dag"
+			}
+			h, err := bench.PrepareDAGQuery(distributed, dop)
+			if err != nil {
+				return err
+			}
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := h.Run(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			record(name, dop, r)
+		}
+	}
+
 	batch := bench.KeyEncodeBatch(1 << 14)
 	keyEncoders := []struct {
 		name string

@@ -26,10 +26,12 @@ func main() {
 	exec := flag.String("e", "", "execute the given semicolon-separated statements and exit")
 	demo := flag.Bool("demo", false, "preload TPC-H tables at scale factor 0.1")
 	joinBudget := flag.Int64("join-budget", 0, "hash-join build-side memory budget in bytes; builds over it grace-spill to the object store (0 = unlimited)")
+	distributed := flag.Bool("distributed", false, "execute parallel SELECTs as DCP task DAGs with object-store exchange (see docs/DCP-QUERIES.md)")
 	flag.Parse()
 
 	cfg := polaris.DefaultConfig()
 	cfg.JoinMemoryBudget = *joinBudget
+	cfg.DistributedQueries = *distributed
 	db := polaris.Open(cfg)
 	defer db.Close()
 

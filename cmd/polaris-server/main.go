@@ -48,6 +48,7 @@ func main() {
 		slotsPerQry   = flag.Int("slots-per-query", 0, "fabric slots requested per admitted statement (0 = engine parallelism)")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight statements on shutdown")
 		smoke         = flag.Bool("smoke", false, "start on an ephemeral port, health-check, run one query, drain, exit")
+		distributed   = flag.Bool("distributed", false, "execute parallel SELECTs as DCP task DAGs with object-store exchange (see docs/DCP-QUERIES.md)")
 	)
 	flag.Parse()
 
@@ -56,6 +57,7 @@ func main() {
 		cfg.Parallelism = *parallelism
 	}
 	cfg.JoinMemoryBudget = *joinBudget
+	cfg.DistributedQueries = *distributed
 	db := polaris.Open(cfg)
 	defer db.Close()
 

@@ -1,0 +1,91 @@
+package bench
+
+// Distributed-query micro-benchmark: the same join+aggregate SELECT through
+// the in-process morsel executor and as a DCP task DAG with object-store
+// exchange stages (core.Options.DistributedQueries, see docs/DCP-QUERIES.md).
+// Shared by the root BenchmarkParallelDAGQuery and cmd/benchrunner -json; the
+// two paths return byte-identical batches, which the root benchmark asserts
+// on its first iteration.
+
+import (
+	"fmt"
+	"strings"
+
+	"polaris/internal/catalog"
+	"polaris/internal/colfile"
+	"polaris/internal/compute"
+	"polaris/internal/core"
+	"polaris/internal/objectstore"
+	"polaris/internal/sql"
+)
+
+// DAGQueryHandle is a prepared engine and session with the benchmark dataset
+// loaded; Run executes the measured SELECT once.
+type DAGQueryHandle struct {
+	eng  *core.Engine
+	sess *sql.Session
+}
+
+const dagQuerySQL = `SELECT c.region, COUNT(*), SUM(o.qty) FROM orders o JOIN customers c ON o.cust = c.cid WHERE o.qty > 1 GROUP BY c.region ORDER BY c.region`
+
+// PrepareDAGQuery loads 20k orders rows (4 distributions, several files and
+// row groups each) plus a 64-row customers dimension into a fresh engine on
+// a 4-node/2-slot fabric. distributed toggles the DCP DAG execution path;
+// dop is the target intra-query parallelism.
+func PrepareDAGQuery(distributed bool, dop int) (*DAGQueryHandle, error) {
+	opts := core.DefaultOptions()
+	opts.Distributions = 4
+	opts.RowsPerFile = 2000
+	opts.RowsPerGroup = 500
+	opts.Parallelism = dop
+	opts.DistributedQueries = distributed
+	fabric := compute.NewFabric(compute.Config{Elastic: true, InitNodes: 4, SlotsPer: 2})
+	eng := core.NewEngine(catalog.NewDB(), objectstore.New(), fabric, opts)
+	sess := sql.NewSession(eng)
+	run := func(q string) error { _, err := sess.Exec(q); return err }
+	if err := run(`CREATE TABLE orders (id INT, cust INT, qty INT) WITH (DISTRIBUTION = cust, SORTCOL = id)`); err != nil {
+		return nil, err
+	}
+	for chunk := 0; chunk < 8; chunk++ {
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO orders VALUES ")
+		for i := 0; i < 2500; i++ {
+			id := chunk*2500 + i
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "(%d, %d, %d)", id, id%64, id%7)
+		}
+		if err := run(sb.String()); err != nil {
+			return nil, err
+		}
+	}
+	if err := run(`CREATE TABLE customers (cid INT, region VARCHAR) WITH (DISTRIBUTION = cid, SORTCOL = cid)`); err != nil {
+		return nil, err
+	}
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO customers VALUES ")
+	for c := 0; c < 64; c++ {
+		if c > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d, 'region-%02d')", c, c%8)
+	}
+	if err := run(sb.String()); err != nil {
+		return nil, err
+	}
+	return &DAGQueryHandle{eng: eng, sess: sess}, nil
+}
+
+// Run executes the benchmark SELECT and returns its result batch.
+func (h *DAGQueryHandle) Run() (*colfile.Batch, error) {
+	res, err := h.sess.Exec(dagQuerySQL)
+	if err != nil {
+		return nil, err
+	}
+	return res.Batch, nil
+}
+
+// DagTasks reports the engine's cumulative DAG task counter, for tasks/op
+// metrics.
+func (h *DAGQueryHandle) DagTasks() int64 { return h.eng.Work.DagTasks.Load() }

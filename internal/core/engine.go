@@ -90,6 +90,18 @@ type Options struct {
 	// TaskFailureInjector, when non-nil, is consulted before every DCP task
 	// attempt (failure testing); a non-nil error fails that attempt.
 	TaskFailureInjector func(taskID, attempt int, node *compute.Node) error
+	// DistributedQueries routes parallel SELECTs through the DCP as task
+	// DAGs (scan/build/probe/merge stages on the read pool, object-store
+	// exchange between stages) instead of the in-process morsel pool. Off by
+	// default: output is byte-identical either way (the morsel decomposition
+	// is shared), so this only changes where the work runs.
+	DistributedQueries bool
+	// QueryFailureInjector, when non-nil, is consulted after every
+	// query-DAG task attempt (failure testing for DistributedQueries); a
+	// non-nil error discards the attempt's output and retries it on another
+	// node. Kept separate from TaskFailureInjector so query-task schedules
+	// don't collide with the storage fetch/write DAGs' task IDs.
+	QueryFailureInjector func(taskID, attempt int, node *compute.Node) error
 }
 
 // DefaultOptions returns production-shaped defaults scaled for tests.
@@ -170,6 +182,22 @@ type WorkStats struct {
 	// partitioning alike). Row-based, so DOP-invariant: tests assert on it
 	// across the DOP × budget sweep.
 	RuntimeFilterRows atomic.Int64
+	// DagTasks counts DCP tasks executed on behalf of distributed queries
+	// (Options.DistributedQueries). The DAG shape is a pure function of the
+	// plan and the configured parallelism — M scan tasks plus, per join, one
+	// gather and M probe tasks — so the count is deterministic per statement
+	// and invariant under failure injection (retries re-run a task, they do
+	// not add one).
+	DagTasks atomic.Int64
+	// DagRetries counts query-DAG task attempts beyond the first (node lost
+	// after Exec, output discarded, task re-placed). Zero without injected
+	// or real node failures; the failure-sweep tests assert it goes ≥ 1 when
+	// a kill schedule is active.
+	DagRetries atomic.Int64
+	// DagStages counts pipeline stages executed by distributed queries: 1
+	// for a scan-only plan, 1 + number of joins otherwise. Deterministic per
+	// statement shape, like DagTasks.
+	DagStages atomic.Int64
 	// Admission tracks front-door admission-control traffic when a serving
 	// process (cmd/polaris-server) multiplexes concurrent sessions over the
 	// fabric's slot pool: statements queued/admitted/rejected plus total
@@ -282,6 +310,36 @@ func (e *Engine) pools(nodes []*compute.Node) dcp.Pools {
 	}
 	half := len(nodes) / 2
 	return dcp.Pools{dcp.ReadPool: nodes[:half], dcp.WritePool: nodes[half:]}
+}
+
+// PoolGauges is a point-in-time view of the WLM pool split: how many live
+// nodes (and task slots) the read and write pools would receive if a job
+// were placed over the full topology right now.
+type PoolGauges struct {
+	ReadNodes, ReadSlots   int
+	WriteNodes, WriteSlots int
+}
+
+// PoolGauges reports the current DCP pool topology for observability
+// (served under GET /metrics). With WLM separation disabled both pools see
+// every node, so the gauges intentionally double-count in that mode — they
+// describe placement domains, not exclusive capacity.
+func (e *Engine) PoolGauges() PoolGauges {
+	pools := e.pools(e.Fabric.Nodes())
+	var g PoolGauges
+	for _, n := range pools[dcp.ReadPool] {
+		if n.Alive() {
+			g.ReadNodes++
+			g.ReadSlots += n.Slots
+		}
+	}
+	for _, n := range pools[dcp.WritePool] {
+		if n.Alive() {
+			g.WriteNodes++
+			g.WriteSlots += n.Slots
+		}
+	}
+	return g
 }
 
 // Begin starts a user transaction at the engine's default isolation level.

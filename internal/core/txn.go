@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -57,6 +58,22 @@ type Txn struct {
 	// it instead of leasing from the fabric again (the lease's owner
 	// releases it when the statement finishes).
 	adoptedDOP int
+	// qctx, when non-nil, is the cancellation context the front end
+	// attached for the current statement (Session.ExecOpts.Ctx); query DAG
+	// runs observe it. Never stored across statements.
+	qctx context.Context
+}
+
+// SetContext attaches a cancellation context for the duration of the
+// current statement. Pass nil to detach.
+func (t *Txn) SetContext(ctx context.Context) { t.qctx = ctx }
+
+// Context returns the statement's cancellation context, never nil.
+func (t *Txn) Context() context.Context {
+	if t.qctx == nil {
+		return context.Background()
+	}
+	return t.qctx
 }
 
 // ID returns the durable transaction identifier.

@@ -16,6 +16,7 @@
 package dcp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -52,6 +53,17 @@ type Ctx struct {
 
 	mu  sync.Mutex
 	sim time.Duration
+	ctx context.Context
+}
+
+// Context returns the run's cancellation context (never nil). Long-running
+// Exec functions should observe it at batch boundaries so an in-flight task
+// notices a canceled run without waiting for the task to finish.
+func (c *Ctx) Context() context.Context {
+	if c.ctx == nil {
+		return context.Background()
+	}
+	return c.ctx
 }
 
 // Charge adds simulated time to this task attempt (IO and CPU costs).
@@ -160,6 +172,18 @@ type lane struct {
 // makespan. Execution is really parallel (bounded by node slots); virtual
 // time is tracked per slot lane.
 func Run(g *Graph, pools Pools, opts Options) (*Result, error) {
+	return RunCtx(context.Background(), g, pools, opts)
+}
+
+// RunCtx is Run with cancellation. When ctx is canceled mid-run, tasks that
+// have not started are abandoned, in-flight tasks observe the cancel through
+// Ctx.Context at their next boundary, no further retries are scheduled, and
+// the returned error wraps ctx.Err() (errors.Is-able as context.Canceled or
+// context.DeadlineExceeded).
+func RunCtx(ctx context.Context, g *Graph, pools Pools, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opts.MaxAttempts <= 0 {
 		opts.MaxAttempts = 3
 	}
@@ -252,6 +276,26 @@ func Run(g *Graph, pools Pools, opts Options) (*Result, error) {
 	cond := sync.NewCond(&mu)
 	for id, d := range indeg {
 		remaining[id] = d
+	}
+
+	// Cancellation: the watcher records the cancel as the run's first error
+	// and wakes every lane waiter, so queued tasks bail out in acquireLane
+	// and the dispatch chain stops (children only dispatch after success).
+	if ctx.Done() != nil {
+		watcherDone := make(chan struct{})
+		defer close(watcherDone)
+		go func() {
+			select {
+			case <-ctx.Done():
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("dcp: run canceled: %w", ctx.Err())
+				}
+				cond.Broadcast()
+				mu.Unlock()
+			case <-watcherDone:
+			}
+		}()
 	}
 
 	// Tickets impose FIFO lane granting in dispatch order, so the virtual
@@ -365,19 +409,23 @@ func Run(g *Graph, pools Pools, opts Options) (*Result, error) {
 		var (
 			out      any
 			err      error
-			ctx      *Ctx
+			tctx     *Ctx
 			attempts int
 			lastNode = -1
 			penalty  time.Duration
 		)
 		for attempts = 1; attempts <= opts.MaxAttempts; attempts++ {
+			if cerr := ctx.Err(); cerr != nil {
+				err = cerr // canceled: don't burn retries, the watcher holds firstErr
+				break
+			}
 			l := acquireLane(t.Pool, ticket, lastNode)
 			if l == nil {
 				err = fmt.Errorf("%w: %s (all nodes lost)", ErrNoNodes, t.Pool)
 				break
 			}
-			ctx = &Ctx{Node: l.node, Attempt: attempts, Inputs: inputs}
-			out, err = t.Exec(ctx)
+			tctx = &Ctx{Node: l.node, Attempt: attempts, Inputs: inputs, ctx: ctx}
+			out, err = t.Exec(tctx)
 			if err == nil && opts.FailureInjector != nil {
 				if ferr := opts.FailureInjector(id, attempts, l.node); ferr != nil {
 					// The attempt's side effects stand; its output is lost.
@@ -390,12 +438,12 @@ func Run(g *Graph, pools Pools, opts Options) (*Result, error) {
 				if depsReady > start {
 					start = depsReady
 				}
-				end := start + opts.Overhead + ctx.charged() + penalty
+				end := start + opts.Overhead + tctx.charged() + penalty
 				virtDone[id] = end
 				res.Outputs[id] = out
 				res.PerTask[id] = TaskStats{
 					Node: l.node.ID, Attempts: attempts,
-					VirtEnd: end, SimTime: ctx.charged(),
+					VirtEnd: end, SimTime: tctx.charged(),
 				}
 				res.Retries += attempts - 1
 				mu.Unlock()

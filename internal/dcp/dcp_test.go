@@ -1,6 +1,7 @@
 package dcp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -349,5 +350,124 @@ func must(t *testing.T, err error) {
 			panic(err)
 		}
 		t.Fatal(err)
+	}
+}
+
+// TestRunCtxCancelStopsUnstartedTasks pins the first cancellation guarantee:
+// once the context is canceled, tasks that have not started never execute
+// their payload, and the run reports an error satisfying
+// errors.Is(err, context.Canceled). A gate task holds the DAG open until the
+// cancel has definitely happened, so the dependents deterministically observe
+// it (either the scheduler abandons them outright, or their first attempt
+// sees the canceled context before doing work).
+func TestRunCtxCancelStopsUnstartedTasks(t *testing.T) {
+	g := NewGraph()
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	release := make(chan struct{})
+	must(t, g.Add(&Task{ID: 1, Name: "gate", Exec: func(tc *Ctx) (any, error) {
+		close(started)
+		<-release
+		return "gate", nil
+	}}))
+	var ran atomic.Int32
+	for i := 2; i <= 6; i++ {
+		must(t, g.Add(&Task{ID: i, Name: fmt.Sprintf("child%d", i), Deps: []int{1},
+			Exec: func(tc *Ctx) (any, error) {
+				if err := tc.Context().Err(); err != nil {
+					return nil, err
+				}
+				ran.Add(1)
+				return nil, nil
+			}}))
+	}
+	p, _ := pools(2, 1)
+	done := make(chan struct{})
+	var res *Result
+	var err error
+	go func() {
+		defer close(done)
+		res, err = RunCtx(ctx, g, p, Options{Overhead: time.Millisecond})
+	}()
+	<-started
+	cancel()
+	close(release)
+	<-done
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled in chain", err)
+	}
+	if res != nil {
+		t.Fatalf("res = %+v, want nil result on canceled run", res)
+	}
+	if n := ran.Load(); n != 0 {
+		t.Fatalf("%d dependent tasks ran their payload after cancel", n)
+	}
+}
+
+// TestRunCtxCancelObservedInFlight pins the second guarantee: a task that is
+// already executing sees the cancellation through Ctx.Context at its next
+// boundary and can return early; the run surfaces a clean error rather than
+// hanging.
+func TestRunCtxCancelObservedInFlight(t *testing.T) {
+	g := NewGraph()
+	ctx, cancel := context.WithCancel(context.Background())
+	entered := make(chan struct{})
+	must(t, g.Add(&Task{ID: 1, Name: "inflight", Exec: func(tc *Ctx) (any, error) {
+		close(entered)
+		<-tc.Context().Done() // an operator checking at a batch boundary
+		return nil, tc.Context().Err()
+	}}))
+	go func() {
+		<-entered
+		cancel()
+	}()
+	p, _ := pools(1, 1)
+	res, err := RunCtx(ctx, g, p, Options{Overhead: time.Millisecond})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled in chain", err)
+	}
+	if res != nil {
+		t.Fatalf("res = %+v, want nil result", res)
+	}
+}
+
+// TestRunCtxPreCanceled: a context canceled before the run starts executes
+// no task payloads at all.
+func TestRunCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := NewGraph()
+	var ran atomic.Int32
+	must(t, g.Add(&Task{ID: 1, Name: "never", Exec: func(tc *Ctx) (any, error) {
+		ran.Add(1)
+		return nil, nil
+	}}))
+	p, _ := pools(1, 1)
+	if _, err := RunCtx(ctx, g, p, Options{}); err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatal("task payload executed despite pre-canceled context")
+	}
+}
+
+// TestRunBackgroundEquivalence: Run is RunCtx with a background context —
+// same outputs, no cancellation machinery engaged.
+func TestRunBackgroundEquivalence(t *testing.T) {
+	build := func() *Graph {
+		g := NewGraph()
+		must(t, g.Add(simpleTask(1, nil, "a", time.Millisecond)))
+		must(t, g.Add(simpleTask(2, []int{1}, "b", time.Millisecond)))
+		return g
+	}
+	p1, _ := pools(2, 1)
+	r1, err := Run(build(), p1, Options{})
+	must(t, err)
+	p2, _ := pools(2, 1)
+	r2, err := RunCtx(context.Background(), build(), p2, Options{})
+	must(t, err)
+	if r1.Outputs[2] != r2.Outputs[2] || r1.Makespan != r2.Makespan {
+		t.Fatalf("Run vs RunCtx(Background) diverged: %v/%v vs %v/%v",
+			r1.Outputs[2], r1.Makespan, r2.Outputs[2], r2.Makespan)
 	}
 }

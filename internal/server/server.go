@@ -250,6 +250,9 @@ type workCounters struct {
 	BuildSideSwaps      int64 `json:"buildSideSwaps"`
 	PushedFilters       int64 `json:"pushedFilters"`
 	RuntimeFilterRows   int64 `json:"runtimeFilterRows"`
+	DagTasks            int64 `json:"dagTasks"`
+	DagRetries          int64 `json:"dagRetries"`
+	DagStages           int64 `json:"dagStages"`
 }
 
 // admissionCounters is the JSON rendering of the admission counter set.
@@ -273,6 +276,14 @@ type Metrics struct {
 		FreeSlots    int `json:"freeSlots"`
 		QueuedLeases int `json:"queuedLeases"`
 	} `json:"fabric"`
+	// DCP reports the WLM pool split of the live topology: the nodes and
+	// task slots query/maintenance DAGs place read and write tasks on.
+	DCP struct {
+		ReadPoolNodes  int `json:"readPoolNodes"`
+		ReadPoolSlots  int `json:"readPoolSlots"`
+		WritePoolNodes int `json:"writePoolNodes"`
+		WritePoolSlots int `json:"writePoolSlots"`
+	} `json:"dcp"`
 	Server struct {
 		Sessions int   `json:"sessions"`
 		Queries  int64 `json:"queries"`
@@ -300,6 +311,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		BuildSideSwaps:      work.BuildSideSwaps.Load(),
 		PushedFilters:       work.PushedFilters.Load(),
 		RuntimeFilterRows:   work.RuntimeFilterRows.Load(),
+		DagTasks:            work.DagTasks.Load(),
+		DagRetries:          work.DagRetries.Load(),
+		DagStages:           work.DagStages.Load(),
 	}
 	adm := &work.Admission
 	m.Admission = admissionCounters{
@@ -315,6 +329,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.Fabric.LeasedSlots = s.eng.Fabric.LeasedSlots()
 	m.Fabric.FreeSlots = s.eng.Fabric.FreeSlots()
 	m.Fabric.QueuedLeases = s.eng.Fabric.QueuedLeases()
+	pg := s.eng.PoolGauges()
+	m.DCP.ReadPoolNodes = pg.ReadNodes
+	m.DCP.ReadPoolSlots = pg.ReadSlots
+	m.DCP.WritePoolNodes = pg.WriteNodes
+	m.DCP.WritePoolSlots = pg.WriteSlots
 
 	s.mu.Lock()
 	m.Server.Sessions = len(s.sessions)

@@ -363,6 +363,17 @@ func TestServerMetricsDocument(t *testing.T) {
 	if m.Fabric.TotalSlots != 4 || m.Fabric.LeasedSlots != 0 {
 		t.Fatalf("fabric gauges total=%d leased=%d, want 4/0", m.Fabric.TotalSlots, m.Fabric.LeasedSlots)
 	}
+	// Single-node fabric: read and write pools share the one node, 4 slots each.
+	if m.DCP.ReadPoolNodes != 1 || m.DCP.ReadPoolSlots != 4 ||
+		m.DCP.WritePoolNodes != 1 || m.DCP.WritePoolSlots != 4 {
+		t.Fatalf("dcp pool gauges %+v, want 1 node / 4 slots per pool", m.DCP)
+	}
+	// DistributedQueries defaults off, so the DAG counters must be present
+	// and zero.
+	if m.Cumulative.DagTasks != 0 || m.Cumulative.DagRetries != 0 || m.Cumulative.DagStages != 0 {
+		t.Fatalf("dag counters tasks=%d retries=%d stages=%d with flag off, want 0",
+			m.Cumulative.DagTasks, m.Cumulative.DagRetries, m.Cumulative.DagStages)
+	}
 	if len(m.RecentQueries) < 3 {
 		t.Fatalf("recentQueries has %d entries, want >= 3", len(m.RecentQueries))
 	}
@@ -372,5 +383,33 @@ func TestServerMetricsDocument(t *testing.T) {
 	}
 	if m.Server.Queries < 3 || m.Server.Draining {
 		t.Fatalf("server gauges %+v", m.Server)
+	}
+}
+
+// TestServerDagCountersSurface enables DistributedQueries and checks that a
+// parallel SELECT served over HTTP moves the dagTasks/dagStages counters in
+// GET /metrics.
+func TestServerDagCountersSurface(t *testing.T) {
+	cfg := tinyFabric(4)
+	cfg.DistributedQueries = true
+	cfg.RowsPerFile = 32
+	cfg.RowsPerGroup = 8
+	e := newEnv(t, cfg, Config{})
+	e.query("", "CREATE TABLE d (k INT, v INT) WITH (DISTRIBUTION = k)")
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO d VALUES (0, 0)")
+	for i := 1; i < 200; i++ {
+		fmt.Fprintf(&sb, ", (%d, %d)", i, i*3)
+	}
+	e.query("", sb.String())
+	e.query("", "SELECT k, SUM(v) FROM d GROUP BY k ORDER BY k")
+
+	m := e.metrics()
+	if m.Cumulative.DagTasks == 0 || m.Cumulative.DagStages == 0 {
+		t.Fatalf("dag counters tasks=%d stages=%d after a distributed SELECT, want > 0",
+			m.Cumulative.DagTasks, m.Cumulative.DagStages)
+	}
+	if m.Cumulative.DagRetries != 0 {
+		t.Fatalf("dagRetries = %d with no failure injection, want 0", m.Cumulative.DagRetries)
 	}
 }

@@ -1,0 +1,589 @@
+package sql
+
+// Distributed query execution (paper Sections 1, 3.3): a parallel SELECT is
+// lowered onto a DCP task DAG instead of the in-process morsel pool when
+// Options.DistributedQueries is set. The DAG is query-shaped — per-morsel
+// scan tasks, one build task per join, a gather barrier per join stage, and
+// per-morsel probe tasks — placed on the read pool with per-node slot
+// placement. Stage outputs cross task boundaries through a query-scoped
+// object-store exchange namespace (the grace-join spill format), so every
+// stage is durable and re-runnable: a task lost to a node failure is retried
+// on another node and deterministically rewrites the same exchange files,
+// which is exactly the object-store block semantics the paper's retry story
+// relies on. Output is byte-identical to the morsel executor at every DOP,
+// join-memory budget and failure schedule — both paths share the morsel
+// decomposition, the fragment operators and the merge tail
+// (finishParallelSelect). See docs/DCP-QUERIES.md.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"polaris/internal/catalog"
+	"polaris/internal/colfile"
+	"polaris/internal/compute"
+	"polaris/internal/core"
+	"polaris/internal/dcp"
+	"polaris/internal/exec"
+	"polaris/internal/objectstore"
+)
+
+// Task-ID layout: IDs are a pure function of the plan shape, so a failure
+// schedule keyed by task ID is reproducible run over run. Stage strides keep
+// the spaces disjoint for any realistic morsel or join count.
+const dagStageStride = 1 << 20
+
+func dagBuildID(j int) int    { return 1 + j }
+func dagGatherID(j int) int   { return 1024 + j }
+func dagScanID(i int) int     { return dagStageStride + i }
+func dagProbeID(j, i int) int { return (j+2)*dagStageStride + i }
+
+// Exchange chunk sizing mirrors the grace-join spill writer: chunks are
+// bounded by budget/exchangeFanout, floored so pathological budgets still
+// make progress. A tiny per-txn SetJoinMemoryBudget override therefore puts
+// the same many-small-files pressure on the exchange that it puts on the
+// spill path; budget 0 (unlimited) writes one file per stage output.
+const (
+	exchangeFanout   = 8
+	minExchangeFlush = 4 << 10
+)
+
+// dagOut is the value a stage task hands its dependents: the exchange file
+// names holding the task's output batch (empty = the morsel produced no
+// rows, mirroring the morsel executor's nil entries) and the probe rows its
+// bloom filter pruned. Pruned counts ride in the output rather than going
+// straight to WorkStats so only the winning attempt of a retried task is
+// counted — a failed attempt's side effects stand but its output (and with
+// it the count) is discarded.
+type dagOut struct {
+	names  []string
+	pruned int64
+}
+
+func dagOutOf(v any) *dagOut {
+	if o, ok := v.(*dagOut); ok && o != nil {
+		return o
+	}
+	return &dagOut{}
+}
+
+// dagExchange is the query's task-boundary exchange: a spill-format
+// namespace in the object store plus the cost model for charging simulated
+// remote IO to the task doing the transfer.
+type dagExchange struct {
+	dir   *objectstore.SpillDir
+	model *compute.CostModel
+	flush int64 // max bytes per chunk; <= 0 writes one chunk per batch
+}
+
+// write persists one stage output batch under prefix and returns the chunk
+// names in order. Names are deterministic per (prefix, chunking), so a
+// retried task overwrites its failed attempt's files with identical bytes.
+func (ex *dagExchange) write(qc *dcp.Ctx, prefix string, b *colfile.Batch) ([]string, error) {
+	if b == nil || b.NumRows() == 0 {
+		return nil, nil
+	}
+	b = b.Materialize()
+	var names []string
+	put := func(chunk *colfile.Batch) error {
+		data, err := colfile.MarshalBatch(chunk)
+		if err != nil {
+			return err
+		}
+		name := fmt.Sprintf("%s/f%06d", prefix, len(names))
+		if err := ex.dir.Put(name, data); err != nil {
+			return err
+		}
+		qc.Charge(ex.model.RemoteWrite(int64(len(data))))
+		names = append(names, name)
+		return nil
+	}
+	if ex.flush <= 0 {
+		if err := put(b); err != nil {
+			return nil, err
+		}
+		return names, nil
+	}
+	buf := colfile.NewBatch(b.Schema)
+	var mem int64
+	for r := 0; r < b.NumRows(); r++ {
+		for c := range buf.Cols {
+			buf.Cols[c].Append(b.Cols[c], r)
+		}
+		mem += b.RowMemSize(r)
+		if mem >= ex.flush {
+			if err := put(buf); err != nil {
+				return nil, err
+			}
+			buf = colfile.NewBatch(b.Schema)
+			mem = 0
+		}
+	}
+	if buf.NumRows() > 0 {
+		if err := put(buf); err != nil {
+			return nil, err
+		}
+	}
+	return names, nil
+}
+
+// read concatenates a stage output's chunks back into one dense batch (nil
+// when the producing morsel had no rows). qc is nil when the FE gathers the
+// final stage — the transfer is then part of the statement, not a task.
+func (ex *dagExchange) read(ctx context.Context, qc *dcp.Ctx, names []string) (*colfile.Batch, error) {
+	var out *colfile.Batch
+	for _, name := range names {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		data, err := ex.dir.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		if qc != nil {
+			qc.Charge(ex.model.RemoteRead(int64(len(data))))
+		}
+		chunk, err := colfile.UnmarshalBatch(data)
+		if err != nil {
+			return nil, err
+		}
+		if out == nil {
+			out = colfile.NewBatch(chunk.Schema)
+		}
+		out.AppendBatch(chunk)
+	}
+	return out, nil
+}
+
+// exchangeTee mirrors a build-side stream into the exchange as it drains, so
+// the build stage's input is durable alongside its spill partitions.
+type exchangeTee struct {
+	in     exec.Operator
+	ex     *dagExchange
+	qc     *dcp.Ctx
+	prefix string
+	seq    int
+}
+
+func (t *exchangeTee) Schema() colfile.Schema { return t.in.Schema() }
+
+func (t *exchangeTee) Next() (*colfile.Batch, error) {
+	b, err := t.in.Next()
+	if err != nil || b == nil {
+		return b, err
+	}
+	if _, err := t.ex.write(t.qc, fmt.Sprintf("%s/b%06d", t.prefix, t.seq), b); err != nil {
+		return nil, err
+	}
+	t.seq++
+	return b, nil
+}
+
+// dagJoin is one join clause lowered for DAG execution. Everything here is
+// resolved on the FE at graph-build time; only the operators themselves are
+// opened inside the build task, freshly per attempt, so a retry re-drains a
+// new stream instead of resuming a half-consumed one.
+type dagJoin struct {
+	rbase               *baseScanPlan
+	rms                 *core.MorselScan
+	leftKeys, rightKeys []int
+	typ                 exec.JoinType
+	cfg                 exec.SpillConfig
+}
+
+// openRight opens the build side as a fresh operator: the right table's
+// per-file fragments concatenated in file order (the same global row order
+// the serial scan streams), teed into the exchange for durability.
+func (d *dagJoin) openRight(qc *dcp.Ctx, ex *dagExchange, j int) (exec.Operator, error) {
+	ops := make([]exec.Operator, 0, len(d.rms.Morsels))
+	for _, m := range d.rms.Morsels {
+		op, err := d.rbase.fragment(m, d.rms, nil)
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, op)
+	}
+	if len(ops) == 0 {
+		return exec.NewBatchList(d.rbase.schema, nil), nil
+	}
+	var in exec.Operator = &exec.UnionAll{Ins: ops}
+	return &exchangeTee{in: in, ex: ex, qc: qc, prefix: fmt.Sprintf("build%d", j)}, nil
+}
+
+// dagState carries the build results across tasks. Builds publish under a
+// mutex and every gather (and through it every probe) depends on all build
+// tasks, so readers always observe the complete set. A retried build
+// republishes an equivalent value — the inputs and the build algorithm are
+// deterministic — so last-write-wins is safe.
+type dagState struct {
+	mu   sync.Mutex
+	srcs []*exec.JoinSource
+}
+
+func (s *dagState) set(j int, src *exec.JoinSource) {
+	s.mu.Lock()
+	s.srcs[j] = src
+	s.mu.Unlock()
+}
+
+func (s *dagState) get(j int) *exec.JoinSource {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.srcs[j]
+}
+
+func (s *dagState) anySpilled() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, src := range s.srcs {
+		if src != nil && src.Spilled != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// runSelectDAG executes a parallel SELECT as a DCP task DAG. It mirrors
+// runSelectParallel stage for stage: the same morsel decomposition (sized by
+// the configured parallelism), the same fragment operators, and the same
+// merge tail — only the execution substrate differs, so output is
+// byte-identical by construction. Returns handled=false only for an empty
+// table, which falls back to the serial path for the schema.
+//
+// Shape mirroring is exact in both executor modes: while no build spills,
+// every morsel runs probe→filter→suffix even when its scan came up empty
+// (the streaming shape — a global aggregate still emits its zero partial);
+// once any build spills, empty per-morsel batches skip downstream stages
+// (the staged shape of runSpilledJoinStages). Which mode applies is decided
+// at probe time from the completed builds, exactly like the morsel path
+// decides it after draining the builds.
+func runSelectDAG(tx *core.Txn, plan *physPlan, meta catalog.TableMeta, hint *exec.PruneHint, spill *joinSpill) (*colfile.Batch, bool, error) {
+	st := plan.st
+	dop, release := tx.LeaseDOP(tx.Parallelism())
+	defer release()
+	alias := aliasOf(st.From)
+	mergeFree := len(st.Joins) == 0 && len(st.GroupBy) > 0 && selectHasAgg(st) &&
+		groupByCoversDistCol(st, meta.DistributionCol, alias)
+
+	var ms *core.MorselScan
+	var err error
+	if mergeFree {
+		ms, err = tx.ScanCellMorsels(st.From.Name, st.From.AsOfSeq)
+	} else {
+		ms, err = tx.ScanMorsels(st.From.Name, st.From.AsOfSeq, tx.Parallelism()*morselsPerWorker)
+	}
+	if err != nil {
+		return nil, true, err
+	}
+	if len(ms.Morsels) == 0 {
+		return nil, false, nil // empty table: serial path supplies the schema
+	}
+
+	base, err := newBaseScanPlan(plan, st.From, ms)
+	if err != nil {
+		return nil, true, err
+	}
+	sc := singleTableScope(base.schema, alias)
+
+	// Lower the joins: resolve keys, types and spill configs on the FE now;
+	// the builds themselves run inside DAG tasks. Spill namespaces go on the
+	// cleanup list immediately (hold) because the build outcome is only
+	// known after the graph runs — possibly after retries.
+	joins := make([]*dagJoin, 0, len(st.Joins))
+	stageSchemas := []colfile.Schema{base.schema}
+	for _, j := range st.Joins {
+		rmeta, err := tx.Table(j.Table.Name)
+		if err != nil {
+			return nil, true, err
+		}
+		rms, err := tx.ScanMorsels(j.Table.Name, j.Table.AsOfSeq, 1)
+		if err != nil {
+			return nil, true, err
+		}
+		rbase, err := newBaseScanPlan(plan, j.Table, rms)
+		if err != nil {
+			return nil, true, err
+		}
+		rsc := singleTableScope(rbase.schema, aliasOf(j.Table))
+		lk, rk, err := equiKeys(j.On, sc, rsc)
+		if err != nil {
+			return nil, true, err
+		}
+		typ := exec.InnerJoin
+		if j.Left {
+			typ = exec.LeftOuterJoin
+		}
+		distAligned := len(rk) == 1 && rmeta.DistributionCol != "" &&
+			strings.EqualFold(rsc.schema[rk[0]].Name, rmeta.DistributionCol)
+		cfg := spill.config(&boundJoin{distAligned: distAligned})
+		spill.hold()
+		joins = append(joins, &dagJoin{rbase: rbase, rms: rms, leftKeys: lk, rightKeys: rk, typ: typ, cfg: cfg})
+		sc = &scope{
+			schema: append(append(colfile.Schema{}, sc.schema...), rsc.schema...),
+			quals:  append(append([]string{}, sc.quals...), rsc.quals...),
+		}
+		prev := stageSchemas[len(stageSchemas)-1]
+		next := prev
+		if typ != exec.SemiJoin {
+			next = append(append(colfile.Schema{}, prev...), rbase.schema...)
+		}
+		stageSchemas = append(stageSchemas, next)
+	}
+
+	var pred exec.Expr
+	var predProg *exec.Prog
+	if st.Where != nil {
+		pred, err = bind(st.Where, sc)
+		if err != nil {
+			return nil, true, err
+		}
+		if p, cerr := exec.Compile(pred, sc.schema); cerr == nil {
+			predProg = p
+		}
+	}
+
+	// The exchange namespace lives exactly as long as the statement:
+	// joinSpill.finish deletes it on success and error alike, so neither a
+	// completed query nor one killed mid-DAG leaks exchange files.
+	ex := &dagExchange{dir: tx.NewSpillDir(), model: tx.CostModel()}
+	if budget := tx.JoinMemoryBudget(); budget > 0 {
+		ex.flush = budget / exchangeFanout
+		if ex.flush < minExchangeFlush {
+			ex.flush = minExchangeFlush
+		}
+	}
+	spill.dirs = append(spill.dirs, ex.dir)
+
+	M := len(ms.Morsels)
+	J := len(joins)
+	state := &dagState{srcs: make([]*exec.JoinSource, J)}
+
+	runFragments := func(suffix func(exec.Operator) (exec.Operator, error)) ([]*colfile.Batch, error) {
+		g := dcp.NewGraph()
+
+		// Stage 0: one scan task per morsel. With no joins the whole
+		// fragment (scan→filter→suffix) is fused into it.
+		for i, m := range ms.Morsels {
+			i, m := i, m
+			if err := g.Add(&dcp.Task{
+				ID: dagScanID(i), Name: fmt.Sprintf("scan-m%d", i), Pool: dcp.ReadPool,
+				Exec: func(qc *dcp.Ctx) (any, error) {
+					op, err := base.fragment(m, ms, hint)
+					if err != nil {
+						return nil, err
+					}
+					if J == 0 {
+						if pred != nil {
+							op = &exec.Filter{In: op, Pred: pred, Prog: predProg, Tel: ms.Tel}
+						}
+						if op, err = suffix(op); err != nil {
+							return nil, err
+						}
+					}
+					b, err := exec.CollectCtx(qc.Context(), op)
+					if err != nil {
+						return nil, err
+					}
+					names, err := ex.write(qc, fmt.Sprintf("s0/m%05d", i), b)
+					if err != nil {
+						return nil, err
+					}
+					return &dagOut{names: names}, nil
+				},
+			}); err != nil {
+				return nil, err
+			}
+		}
+
+		buildIDs := make([]int, J)
+		for j := range joins {
+			buildIDs[j] = dagBuildID(j)
+		}
+		prevID := dagScanID
+		for j, dj := range joins {
+			j, dj := j, dj
+			prev := prevID
+			leftSchema := stageSchemas[j]
+			last := j == J-1
+
+			if err := g.Add(&dcp.Task{
+				ID: dagBuildID(j), Name: fmt.Sprintf("build-j%d", j), Pool: dcp.ReadPool,
+				Exec: func(qc *dcp.Ctx) (any, error) {
+					right, err := dj.openRight(qc, ex, j)
+					if err != nil {
+						return nil, err
+					}
+					src, err := exec.BuildGraceJoin(right, dj.rightKeys, dj.typ, tx.Parallelism(), dj.cfg, ms.Tel)
+					if err != nil {
+						return nil, err
+					}
+					state.set(j, src)
+					return nil, nil
+				},
+			}); err != nil {
+				return nil, err
+			}
+
+			// The gather barrier: for a spilled build it assembles the full
+			// per-morsel batch list (nil entries preserved — the partition-
+			// wise join's global ordinal merge depends on them) and runs the
+			// partition-wise grace join; for an in-memory build it is a pure
+			// synchronization point. It depends on every build so probes can
+			// tell which executor shape (streaming vs staged) applies.
+			gdeps := append([]int{}, buildIDs...)
+			for i := 0; i < M; i++ {
+				gdeps = append(gdeps, prev(i))
+			}
+			if err := g.Add(&dcp.Task{
+				ID: dagGatherID(j), Name: fmt.Sprintf("gather-j%d", j), Pool: dcp.ReadPool, Deps: gdeps,
+				Exec: func(qc *dcp.Ctx) (any, error) {
+					src := state.get(j)
+					if src == nil || src.Spilled == nil {
+						return nil, nil // in-memory build: probes share the JoinTable
+					}
+					batches := make([]*colfile.Batch, M)
+					for i := 0; i < M; i++ {
+						b, err := ex.read(qc.Context(), qc, dagOutOf(qc.Inputs[prev(i)]).names)
+						if err != nil {
+							return nil, err
+						}
+						batches[i] = b
+					}
+					joined, err := src.Spilled.JoinBatches(batches, dj.leftKeys, leftSchema, dop)
+					if err != nil {
+						return nil, err
+					}
+					outs := make([]*dagOut, M)
+					for i, b := range joined {
+						names, err := ex.write(qc, fmt.Sprintf("g%d/m%05d", j, i), b)
+						if err != nil {
+							return nil, err
+						}
+						outs[i] = &dagOut{names: names}
+					}
+					return outs, nil
+				},
+			}); err != nil {
+				return nil, err
+			}
+
+			for i := 0; i < M; i++ {
+				i := i
+				if err := g.Add(&dcp.Task{
+					ID: dagProbeID(j, i), Name: fmt.Sprintf("probe-j%d-m%d", j, i), Pool: dcp.ReadPool,
+					Deps: []int{dagGatherID(j), prev(i)},
+					Exec: func(qc *dcp.Ctx) (any, error) {
+						ctx := qc.Context()
+						src := state.get(j)
+						var localPruned atomic.Int64
+						var op exec.Operator
+						if src.Spilled != nil {
+							outs, _ := qc.Inputs[dagGatherID(j)].([]*dagOut)
+							var names []string
+							if outs != nil {
+								names = outs[i].names
+							}
+							if !last {
+								// Forward: the joined batch is already durable
+								// in the gather's exchange files.
+								return &dagOut{names: names}, nil
+							}
+							b, err := ex.read(ctx, qc, names)
+							if err != nil {
+								return nil, err
+							}
+							if b == nil {
+								return &dagOut{}, nil // staged shape: empty skips the suffix
+							}
+							op = exec.NewBatchSource(b)
+						} else {
+							b, err := ex.read(ctx, qc, dagOutOf(qc.Inputs[prev(i)]).names)
+							if err != nil {
+								return nil, err
+							}
+							if b == nil {
+								if state.anySpilled() {
+									return &dagOut{}, nil // staged shape: empty skips this stage
+								}
+								// Streaming shape: probe/filter/suffix run on the
+								// empty stream too, like the fused morsel fragment.
+								b = colfile.NewBatch(stageSchemas[j])
+							}
+							pr := &exec.Probe{In: exec.NewBatchSource(b), Table: src.Table, LeftKeys: dj.leftKeys, Tel: ms.Tel}
+							if dj.typ != exec.LeftOuterJoin {
+								pr.Bloom = src.Table.BloomFilter()
+								pr.Pruned = &localPruned
+							}
+							op = pr
+						}
+						if last {
+							if pred != nil {
+								op = &exec.Filter{In: op, Pred: pred, Prog: predProg, Tel: ms.Tel}
+							}
+							var err error
+							if op, err = suffix(op); err != nil {
+								return nil, err
+							}
+						}
+						b, err := exec.CollectCtx(ctx, op)
+						if err != nil {
+							return nil, err
+						}
+						names, err := ex.write(qc, fmt.Sprintf("p%d/m%05d", j, i), b)
+						if err != nil {
+							return nil, err
+						}
+						return &dagOut{names: names, pruned: localPruned.Load()}, nil
+					},
+				}); err != nil {
+					return nil, err
+				}
+			}
+			prevID = func(i int) int { return dagProbeID(j, i) }
+		}
+
+		stages := 1
+		if J > 0 {
+			stages = 1 + J
+		}
+		res, err := tx.RunQueryDAG(g, stages)
+		for jx := range joins {
+			spill.trackDAG(state.get(jx)) // completed builds count even if the run failed
+		}
+		if err != nil {
+			return nil, err
+		}
+
+		// Fold the winning attempts' pruned-row counts into WorkStats (the
+		// totals are row-based and so identical to the morsel path's).
+		var pruned int64
+		for j := 0; j < J; j++ {
+			for i := 0; i < M; i++ {
+				pruned += dagOutOf(res.Outputs[dagProbeID(j, i)]).pruned
+			}
+		}
+		if pruned > 0 {
+			tx.Work().RuntimeFilterRows.Add(pruned)
+		}
+
+		finalID := dagScanID
+		if J > 0 {
+			finalID = func(i int) int { return dagProbeID(J-1, i) }
+		}
+		fctx := tx.Context()
+		batches := make([]*colfile.Batch, M)
+		for i := 0; i < M; i++ {
+			b, err := ex.read(fctx, nil, dagOutOf(res.Outputs[finalID(i)]).names)
+			if err != nil {
+				return nil, err
+			}
+			batches[i] = b
+		}
+		return batches, nil
+	}
+
+	return finishParallelSelect(tx, st, sc, ms.Tel, mergeFree, runFragments)
+}

@@ -97,6 +97,9 @@ func (p *physPlan) scanLine(ref TableRef) string {
 		line += " [pushed=" + exprString(andFold(pushed)) + "]"
 	}
 	line += " [est=" + p.estString(ref) + "]"
+	if p.dag {
+		line += " [dag]"
+	}
 	return line
 }
 

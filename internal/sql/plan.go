@@ -384,9 +384,21 @@ func runSelect(tx *core.Txn, st *SelectStmt) (*colfile.Batch, error) {
 	// The exception is bare LIMIT queries (no ORDER BY, no aggregation),
 	// where the serial streaming path stops scanning after N rows while the
 	// parallel path would materialize every morsel first.
-	bareLimit := st.Limit >= 0 && len(st.OrderBy) == 0 && !selectHasAgg(st)
-	if tx.Parallelism() > 1 && !bareLimit {
-		b, handled, err := runSelectParallel(tx, plan, meta, hint, spill)
+	if tx.Parallelism() > 1 && !bareLimitSelect(st) {
+		var (
+			b       *colfile.Batch
+			handled bool
+		)
+		if tx.DistributedQueries() {
+			// Distributed execution: the same plan is lowered onto DCP task
+			// DAGs with object-store exchange between stages (docs/
+			// DCP-QUERIES.md). Byte-identical to the morsel path by
+			// construction — both share the morsel decomposition and the
+			// merge operators.
+			b, handled, err = runSelectDAG(tx, plan, meta, hint, spill)
+		} else {
+			b, handled, err = runSelectParallel(tx, plan, meta, hint, spill)
+		}
 		if handled {
 			return b, err
 		}
@@ -446,6 +458,13 @@ func runSelect(tx *core.Txn, st *SelectStmt) (*colfile.Batch, error) {
 		return nil, err
 	}
 	return finishSelect(st, outOp)
+}
+
+// bareLimitSelect reports a bare LIMIT query (no ORDER BY, no aggregation):
+// the serial streaming path stops scanning after N rows, while a parallel
+// executor would materialize every morsel first — so these stay serial.
+func bareLimitSelect(st *SelectStmt) bool {
+	return st.Limit >= 0 && len(st.OrderBy) == 0 && !selectHasAgg(st)
 }
 
 // selectHasAgg reports whether the statement needs an aggregation stage.
@@ -579,6 +598,29 @@ func (s *joinSpill) track(src *exec.JoinSource) {
 		s.tx.Work().JoinSpills.Add(1)
 	}
 	s.pending = nil
+}
+
+// hold retains the pending namespace for end-of-statement cleanup without
+// waiting for a build outcome. The DAG path allocates every join's spill
+// namespace at graph-build time — the builds themselves run later, inside
+// DCP tasks, possibly more than once under retry — so the namespaces must
+// be on the cleanup list before the graph runs. Cleanup of a namespace that
+// never spilled is a cheap empty listing.
+func (s *joinSpill) hold() {
+	if s.pending != nil {
+		s.dirs = append(s.dirs, s.pending)
+		s.pending = nil
+	}
+}
+
+// trackDAG records a DAG build task's outcome in the work counters. Unlike
+// track, it does not manage namespaces (hold already did) and tolerates nil
+// (a run that failed before the build completed).
+func (s *joinSpill) trackDAG(src *exec.JoinSource) {
+	if src != nil && src.Spilled != nil {
+		s.spilled = append(s.spilled, src.Spilled)
+		s.tx.Work().JoinSpills.Add(1)
+	}
 }
 
 // finish adds the spill accounting — bytes durably written (sj.SpillBytes
@@ -884,6 +926,17 @@ func runSelectParallel(tx *core.Txn, plan *physPlan, meta catalog.TableMeta, hin
 			})
 		}
 	}
+	return finishParallelSelect(tx, st, sc, ms.Tel, mergeFree, runFragments)
+}
+
+// finishParallelSelect runs the merge tail of a parallel SELECT: it drives
+// runFragments with the plan's per-fragment suffix (partial aggregation,
+// projection, or sorted runs) and combines the per-morsel batches with the
+// deterministic merge operators. Shared by the morsel-pool and DCP-DAG
+// executors — runFragments abstracts where the fragments ran, so the two
+// paths cannot drift apart downstream of the fragment boundary.
+func finishParallelSelect(tx *core.Txn, st *SelectStmt, sc *scope, tel *exec.Telemetry, mergeFree bool,
+	runFragments func(func(exec.Operator) (exec.Operator, error)) ([]*colfile.Batch, error)) (*colfile.Batch, bool, error) {
 	// schemaSource stands in for the plan prefix when instantiating
 	// prototype operators whose Schema() needs an input schema (sc.schema
 	// is the post-join schema).
@@ -914,7 +967,7 @@ func runSelectParallel(tx *core.Txn, plan *physPlan, meta catalog.TableMeta, hin
 		partialProto := &exec.HashAgg{In: schemaSource(), GroupBy: ap.groupBy, Aggs: ap.aggs, Partial: true}
 		outOp = &exec.MergeAgg{
 			In:     exec.NewBatchList(partialProto.Schema(), batches),
-			Groups: len(ap.groupBy), Aggs: ap.aggs, MergeFree: mergeFree, Tel: ms.Tel,
+			Groups: len(ap.groupBy), Aggs: ap.aggs, MergeFree: mergeFree, Tel: tel,
 		}
 		if ap.having != nil {
 			outOp = &exec.Filter{In: outOp, Pred: ap.having, Prog: compileHaving(ap.having, outOp.Schema())}
@@ -928,7 +981,7 @@ func runSelectParallel(tx *core.Txn, plan *physPlan, meta catalog.TableMeta, hin
 		projProgs := compileProgs(exprs, sc.schema)
 		proto := &exec.Project{In: schemaSource(), Exprs: exprs, Names: names}
 		if len(st.OrderBy) > 0 {
-			b, err := runParallelOrderBy(tx, st, runFragments, ms.Tel, exprs, names, projProgs, proto.Schema())
+			b, err := runParallelOrderBy(tx, st, runFragments, tel, exprs, names, projProgs, proto.Schema())
 			return b, true, err
 		}
 		batches, err := runFragments(func(op exec.Operator) (exec.Operator, error) {

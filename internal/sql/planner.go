@@ -42,6 +42,11 @@ type physPlan struct {
 
 	order  []*planTable // syntactic order
 	tables map[string]*planTable
+
+	// dag marks a plan that will execute as a DCP task DAG
+	// (Options.DistributedQueries with a parallelism target); EXPLAIN
+	// renders it as a [dag] annotation on the probe-base scan.
+	dag bool
 }
 
 // planSelect runs cost-based physical planning over one SELECT.
@@ -51,6 +56,7 @@ func planSelect(tx *core.Txn, st *SelectStmt) *physPlan {
 		pushed: map[string][]Expr{}, scanCols: map[string][]string{},
 		tables: map[string]*planTable{},
 	}
+	p.dag = tx.DistributedQueries() && tx.Parallelism() > 1 && !bareLimitSelect(st)
 	if !p.loadTables(tx, st) {
 		return p
 	}

@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -107,6 +108,11 @@ type ExecOpts struct {
 	// from the fabric again. The caller owns the lease and releases it
 	// after the statement returns.
 	DOP int
+	// Ctx, when non-nil, is a cancellation context for the statement.
+	// Distributed (DAG-executed) queries observe it at task boundaries and
+	// return its error; the statement's spill and exchange files are
+	// cleaned up as on any other error path.
+	Ctx context.Context
 }
 
 // ExecWith parses and executes one statement with execution overrides.
@@ -170,6 +176,10 @@ func (s *Session) ExecParsedWith(st Statement, opts ExecOpts) (*Result, error) {
 			s.tx.AdoptLease(opts.DOP)
 			defer s.tx.ClearAdoptedLease()
 		}
+		if opts.Ctx != nil {
+			s.tx.SetContext(opts.Ctx)
+			defer s.tx.SetContext(nil)
+		}
 		before := s.tx.SimTime()
 		res, err := Execute(s.tx, st)
 		if err != nil {
@@ -182,6 +192,9 @@ func (s *Session) ExecParsedWith(st Statement, opts ExecOpts) (*Result, error) {
 	tx := s.begin()
 	if opts.DOP > 0 {
 		tx.AdoptLease(opts.DOP)
+	}
+	if opts.Ctx != nil {
+		tx.SetContext(opts.Ctx)
 	}
 	res, err := Execute(tx, st)
 	if err != nil {

@@ -96,6 +96,14 @@ type Config struct {
 	PublishIceberg bool
 	// StoreLatency attaches a simulated-latency model to the object store.
 	StoreLatency bool
+	// DistributedQueries executes parallel SELECTs as DCP task DAGs over
+	// the compute fabric — per-morsel scan, join-build, and probe tasks
+	// with object-store exchange between stages and task-level retry with
+	// re-placement on node failure (paper Sections 1, 3.3; see
+	// docs/DCP-QUERIES.md). Off by default: output is byte-identical to
+	// the in-process morsel executor, so this only changes where the work
+	// runs, not what it returns.
+	DistributedQueries bool
 }
 
 // DefaultConfig returns laptop-scale defaults with every feature enabled.
@@ -165,6 +173,7 @@ func Open(cfg Config) *DB {
 	}
 	opts.WLMSeparate = cfg.WLMSeparate
 	opts.CheckpointEvery = cfg.CheckpointEvery
+	opts.DistributedQueries = cfg.DistributedQueries
 	eng := core.NewEngine(catalog.NewDB(), store, fabric, opts)
 	orch := sto.New(eng, sto.Config{
 		CheckpointEvery:   cfg.CheckpointEvery,
