@@ -13,12 +13,16 @@ BENCH_JSON ?= BENCH_PR9.json
 build:
 	$(GO) build ./...
 
+# gofmt + go vet + the repo's own contract analyzers (determinism, kernel
+# selection-vector discipline, spill cleanup, context boundaries — see
+# docs/LINT.md for the catalog and the //polaris:<key> escape grammar).
 lint:
 	@fmt_out=$$(gofmt -l .); \
 	if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; \
 	fi
 	$(GO) vet ./...
+	$(GO) run ./cmd/polarisvet ./...
 
 # -short skips the slow paper-figure experiments; the full suite
 # (`go test ./...`, no -short) is the tier-1 verification run. The grace-join
@@ -27,17 +31,19 @@ lint:
 test:
 	$(GO) test -short ./...
 
-# Race-check the morsel-driven parallel executor and the SQL surface that
-# drives it — including the grace-join spill path (root spill_test.go and
-# internal/exec/spill_test.go run tiny-budget spilling joins, the parallel
-# partition-wise fan-out, and concurrent JoinBatches calls under -race on
-# every push), the queued-admission fabric leasing, and the multi-session
-# HTTP server (bounded concurrent-traffic stress with STO maintenance, the
-# admission unit suite, and the two-session interleaved-transaction test),
-# and the DCP task scheduler (retry/re-placement and the RunCtx cancellation
-# watcher exercised by the distributed-query DAG path).
+# Race-check the whole tree. The hot spots: the morsel-driven parallel
+# executor and the SQL surface that drives it — including the grace-join
+# spill path (root spill_test.go and internal/exec/spill_test.go run
+# tiny-budget spilling joins, the parallel partition-wise fan-out, and
+# concurrent JoinBatches calls under -race on every push), the
+# queued-admission fabric leasing, the multi-session HTTP server (bounded
+# concurrent-traffic stress with STO maintenance, the admission unit suite,
+# and the two-session interleaved-transaction test), and the DCP task
+# scheduler (retry/re-placement and the RunCtx cancellation watcher
+# exercised by the distributed-query DAG path). `./...` rather than a
+# package list so new packages are race-checked by default.
 race:
-	$(GO) test -race -short . ./internal/exec/... ./internal/compute/... ./internal/server/... ./internal/dcp/...
+	$(GO) test -race -short ./...
 
 # One iteration of every parallel-executor benchmark (scan, join, spilled
 # join, sort, top-N): catches bit-rot in the benchmark harness (and the
@@ -74,15 +80,16 @@ server-smoke:
 
 # Documentation gate: every relative markdown link AND #fragment anchor in
 # the doc set must resolve, benchmark-snapshot references must not be stale
-# relative to $(BENCH_JSON), docs/PERF.md must match the committed
-# BENCH_PR*.json snapshots byte-for-byte (perfdoc -check), and the package
-# docs for the public API and the executor must render (catches syntax-level
-# doc rot).
+# relative to $(BENCH_JSON), the docs/LINT.md analyzer catalog must match
+# the polarisvet registry both ways (-lint-catalog), docs/PERF.md must match
+# the committed BENCH_PR*.json snapshots byte-for-byte (perfdoc -check), and
+# the package docs for the public API and the executor must render (catches
+# syntax-level doc rot).
 docs:
-	$(GO) run ./cmd/doccheck -bench-default $(BENCH_JSON) \
+	$(GO) run ./cmd/doccheck -bench-default $(BENCH_JSON) -lint-catalog docs/LINT.md \
 		README.md ROADMAP.md PAPER.md \
 		docs/ARCHITECTURE.md docs/VECTORIZATION.md docs/PLANNER.md docs/PERF.md \
-		docs/SERVER.md docs/DCP-QUERIES.md
+		docs/SERVER.md docs/DCP-QUERIES.md docs/LINT.md
 	$(GO) run ./cmd/doccheck CHANGES.md  # historical log: links only, past defaults allowed
 	$(GO) run ./cmd/perfdoc -check
 	@$(GO) doc . >/dev/null

@@ -12,13 +12,17 @@
 //     declares a default (contains "default" or "BENCH_JSON") must name the
 //     current snapshot. Historical trajectory mentions on other lines are
 //     exempt — docs/PERF.md legitimately cites every past snapshot.
+//   - with -lint-catalog, the analyzer catalog in docs/LINT.md cannot drift
+//     from the polarisvet registry: every analyzer in lint.Registry() must
+//     appear as a backticked table-row name in the catalog, and every
+//     catalogued name must still be registered.
 //
 // External links (with a URL scheme) are accepted without network access; a
 // broken reference of any kind is a hard failure.
 //
 // Usage:
 //
-//	doccheck [-bench-default BENCH_PR6.json] FILE.md ...
+//	doccheck [-bench-default BENCH_PR6.json] [-lint-catalog docs/LINT.md] FILE.md ...
 package main
 
 import (
@@ -27,7 +31,10 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strings"
+
+	"polaris/internal/lint"
 )
 
 // linkRe matches inline markdown links [text](target). Images (![alt](...))
@@ -40,9 +47,15 @@ var benchRe = regexp.MustCompile(`BENCH_PR\d+\.json`)
 // headingRe matches ATX headings; setext headings are not used in this repo.
 var headingRe = regexp.MustCompile(`^#{1,6}\s+(.*)$`)
 
+// catalogRowRe matches a markdown table row whose first cell is a backticked
+// analyzer name — the shape of the docs/LINT.md analyzer catalog.
+var catalogRowRe = regexp.MustCompile("^\\|\\s*`([a-z][a-z0-9-]*)`\\s*\\|")
+
 func main() {
 	benchDefault := flag.String("bench-default", "",
 		"current BENCH_PRn.json snapshot; flags dangling or stale snapshot references")
+	lintCatalog := flag.String("lint-catalog", "",
+		"markdown file whose analyzer catalog table must match the polarisvet registry")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: doccheck [-bench-default BENCH_PRn.json] FILE.md ...")
@@ -91,9 +104,70 @@ func main() {
 		}
 		fmt.Printf("doccheck: %s: %d relative links, %d anchors checked\n", file, checked, frags)
 	}
+	if *lintCatalog != "" {
+		broken += checkLintCatalog(*lintCatalog)
+	}
 	if broken > 0 {
 		os.Exit(1)
 	}
+}
+
+// checkLintCatalog compares the backticked first-column names in the catalog
+// table of the given markdown file against lint.Registry(), both directions:
+// a registered analyzer missing from the docs, or a documented analyzer that
+// is no longer registered, is a failure.
+func checkLintCatalog(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+		return 1
+	}
+	// Only the table under the "Analyzer catalog" heading is the registry
+	// mirror; other tables (the annotation-key table, say) may also have
+	// backticked first cells.
+	documented := map[string]bool{}
+	inCatalog := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if m := headingRe.FindStringSubmatch(line); m != nil {
+			inCatalog = strings.EqualFold(strings.TrimSpace(m[1]), "analyzer catalog")
+			continue
+		}
+		if !inCatalog {
+			continue
+		}
+		if m := catalogRowRe.FindStringSubmatch(line); m != nil {
+			documented[m[1]] = true
+		}
+	}
+	if len(documented) == 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %s: no analyzer catalog table found\n", path)
+		return 1
+	}
+	bad := 0
+	registered := map[string]bool{}
+	for _, a := range lint.Registry() {
+		registered[a.Name] = true
+		if !documented[a.Name] {
+			fmt.Fprintf(os.Stderr, "doccheck: %s: analyzer %q is in the polarisvet registry but missing from the catalog table\n",
+				path, a.Name)
+			bad++
+		}
+	}
+	names := make([]string, 0, len(documented))
+	for name := range documented {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if !registered[name] {
+			fmt.Fprintf(os.Stderr, "doccheck: %s: catalog lists %q, which is not in the polarisvet registry\n",
+				path, name)
+			bad++
+		}
+	}
+	fmt.Printf("doccheck: %s: %d catalog entries checked against %d registered analyzers\n",
+		path, len(documented), len(registered))
+	return bad
 }
 
 // splitFragment resolves a link target against the linking file's directory

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"testing"
+)
+
+// TestRenderStableAcrossRuns pins docs/PERF.md generation as a regression
+// surface: rendering the same snapshot set repeatedly — including a fresh
+// load each time, so map allocation and iteration seed differ — must
+// produce byte-identical markdown. render folds results through maps
+// (benchmark name → DOP set); any ordering leak there would make `perfdoc
+// -check` flap in CI. This is a determinism regression test over fixed
+// inputs, not a fuzz target.
+func TestRenderStableAcrossRuns(t *testing.T) {
+	dir := t.TempDir()
+	// Two snapshots with overlapping and disjoint benchmarks/DOPs, so the
+	// union maps in render have something to misorder.
+	writeSnap(t, dir, "BENCH_PR3.json", `{"go_version":"go1.22","results":[
+		{"name":"ParallelScan","dop":1,"ns_per_op":900,"allocs_per_op":12,"bytes_per_op":300},
+		{"name":"ParallelScan","dop":4,"ns_per_op":400,"allocs_per_op":12,"bytes_per_op":300},
+		{"name":"ParallelJoin","dop":1,"ns_per_op":2100,"allocs_per_op":40,"bytes_per_op":900}]}`)
+	writeSnap(t, dir, "BENCH_PR4.json", `{"go_version":"go1.22","results":[
+		{"name":"ParallelScan","dop":8,"ns_per_op":250,"allocs_per_op":12,"bytes_per_op":300},
+		{"name":"ParallelSort","dop":1,"ns_per_op":5000,"allocs_per_op":80,"bytes_per_op":2000},
+		{"name":"ParallelJoin","dop":4,"ns_per_op":800,"allocs_per_op":40,"bytes_per_op":900}]}`)
+
+	snaps, err := loadSnapshots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := render(snaps)
+	for i := 0; i < 10; i++ {
+		again, err := loadSnapshots(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := render(again); got != want {
+			t.Fatalf("render drifted on reload %d\nfirst:\n%s\nnow:\n%s", i, want, got)
+		}
+	}
+}
+
+// TestRenderStableOnCommittedSnapshots applies the same byte-equality pin to
+// the repo's real committed BENCH_PR*.json set (the exact inputs `perfdoc
+// -check` compares against docs/PERF.md in `make docs`).
+func TestRenderStableOnCommittedSnapshots(t *testing.T) {
+	snaps, err := loadSnapshots("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) == 0 {
+		t.Skip("no committed BENCH_PR*.json snapshots found")
+	}
+	want := render(snaps)
+	for i := 0; i < 5; i++ {
+		again, err := loadSnapshots("../..")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := render(again); got != want {
+			t.Fatalf("render of committed snapshots drifted on reload %d", i)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"polaris/internal/lint"
+)
+
+// TestCleanPackageExitsZero pins the success path: a package with no
+// contract violations produces no output and exit status 0.
+func TestCleanPackageExitsZero(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"../../internal/lint/testdata/src/clean"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d on clean package\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("unexpected findings on clean package:\n%s", stdout.String())
+	}
+}
+
+// TestInjectedRegressionFails pins the acceptance case end to end: an
+// unsorted map iteration in a package whose import path ends in
+// internal/exec must make the full driver — scope filtering included —
+// exit non-zero with a detmaporder finding.
+func TestInjectedRegressionFails(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"../../internal/lint/testdata/src/injected/internal/exec"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d on injected regression, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "[detmaporder]") || !strings.Contains(out, "map iteration order") {
+		t.Fatalf("missing detmaporder finding in output:\n%s", out)
+	}
+}
+
+// TestListMatchesRegistry keeps -list in lockstep with the registry.
+func TestListMatchesRegistry(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d from -list\nstderr:\n%s", code, stderr.String())
+	}
+	for _, a := range lint.Registry() {
+		if !strings.Contains(stdout.String(), a.Name) {
+			t.Errorf("-list output missing analyzer %s:\n%s", a.Name, stdout.String())
+		}
+	}
+}
+
+// TestAnalyzerSubset pins -analyzers: only the selected analyzer runs, and
+// an unknown name is a usage error.
+func TestAnalyzerSubset(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-analyzers", "selaware", "../../internal/lint/testdata/src/injected/internal/exec"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d running only selaware over a detmaporder violation\nstdout:\n%s", code, stdout.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-analyzers", "bogus"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d for unknown analyzer, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown analyzer") {
+		t.Fatalf("missing unknown-analyzer message:\n%s", stderr.String())
+	}
+}

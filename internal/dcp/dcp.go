@@ -194,10 +194,18 @@ func RunCtx(ctx context.Context, g *Graph, pools Pools, opts Options) (*Result, 
 		opts.RetryPenalty = opts.Overhead
 	}
 
-	// Validate deps and topologically sort (Kahn) to detect cycles.
+	// Validate deps and topologically sort (Kahn) to detect cycles. Tasks are
+	// visited in ID order so children/queue ordering — and therefore dispatch
+	// order — is identical run to run.
+	taskIDs := make([]int, 0, len(g.tasks))
+	for id := range g.tasks {
+		taskIDs = append(taskIDs, id)
+	}
+	sort.Ints(taskIDs)
 	indeg := make(map[int]int, len(g.tasks))
 	children := make(map[int][]int)
-	for id, t := range g.tasks {
+	for _, id := range taskIDs {
+		t := g.tasks[id]
 		if _, ok := indeg[id]; !ok {
 			indeg[id] = 0
 		}
@@ -212,9 +220,9 @@ func RunCtx(ctx context.Context, g *Graph, pools Pools, opts Options) (*Result, 
 	processedCheck := 0
 	queue := make([]int, 0, len(g.tasks))
 	indegCopy := make(map[int]int, len(indeg))
-	for id, d := range indeg {
-		indegCopy[id] = d
-		if d == 0 {
+	for _, id := range taskIDs {
+		indegCopy[id] = indeg[id]
+		if indeg[id] == 0 {
 			queue = append(queue, id)
 		}
 	}
@@ -236,8 +244,14 @@ func RunCtx(ctx context.Context, g *Graph, pools Pools, opts Options) (*Result, 
 	// slots are genuinely shared and interference shows up in virtual time.
 	lanes := make(map[PoolKind][]*lane)
 	laneByNodeSlot := make(map[[2]int]*lane)
-	for pool, nodes := range pools {
-		for _, n := range nodes {
+	poolKinds := make([]int, 0, len(pools))
+	for pool := range pools {
+		poolKinds = append(poolKinds, int(pool))
+	}
+	sort.Ints(poolKinds)
+	for _, pk := range poolKinds {
+		pool := PoolKind(pk)
+		for _, n := range pools[pool] {
 			if !n.Alive() {
 				continue
 			}
@@ -256,8 +270,13 @@ func RunCtx(ctx context.Context, g *Graph, pools Pools, opts Options) (*Result, 
 	for _, t := range g.tasks {
 		needPool[t.Pool] = true
 	}
+	needKinds := make([]int, 0, len(needPool))
 	for p := range needPool {
-		if len(lanes[p]) == 0 {
+		needKinds = append(needKinds, int(p))
+	}
+	sort.Ints(needKinds)
+	for _, pk := range needKinds {
+		if p := PoolKind(pk); len(lanes[p]) == 0 {
 			return nil, fmt.Errorf("%w: %s", ErrNoNodes, p)
 		}
 	}
@@ -499,6 +518,7 @@ func RunCtx(ctx context.Context, g *Graph, pools Pools, opts Options) (*Result, 
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	//polaris:nondet max fold: Makespan is the maximum VirtEnd, which is the same whatever order the tasks are visited in
 	for _, st := range res.PerTask {
 		if st.VirtEnd > res.Makespan {
 			res.Makespan = st.VirtEnd

@@ -97,6 +97,7 @@ func (jt *JoinTable) BloomFilter() *Bloom {
 	}
 	f := NewBloom(n)
 	for _, part := range jt.parts {
+		//polaris:nondet Bloom.Add ORs bits into the filter; OR is commutative so key order cannot change the result
 		for k := range part {
 			f.Add([]byte(k))
 		}

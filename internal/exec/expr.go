@@ -12,6 +12,8 @@
 // with the scalar reference evaluator (Expr.Eval) — is docs/VECTORIZATION.md.
 package exec
 
+//polaris:kernelfile the scalar reference evaluator reads lanes at already-translated physical positions (Batch.Row semantics)
+
 import (
 	"fmt"
 	"strings"

@@ -367,6 +367,8 @@ type aggState struct {
 }
 
 // observeMinMax folds physical lane p of v into min/max slot i.
+//
+//polaris:kernel p is a physical position the caller already translated through the batch's selection
 func (st *aggState) observeMinMax(k AggKind, v *colfile.Vec, p, i int) {
 	if !st.seen[i] {
 		st.seen[i] = true
@@ -474,6 +476,8 @@ func (h *HashAgg) Schema() colfile.Schema {
 }
 
 // Next implements Operator.
+//
+//polaris:kernel the aggregation loop walks phys positions taken from Batch.Sel (or dense [0,n)) before touching lanes
 func (h *HashAgg) Next() (*colfile.Batch, error) {
 	if h.done {
 		return nil, nil

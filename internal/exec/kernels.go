@@ -23,6 +23,8 @@
 //   - out never aliases an input vector; l and r may alias each other.
 package exec
 
+//polaris:kernelfile the kernel layer itself: every loop here runs behind the sel-translation boundary the contract above defines
+
 import (
 	"cmp"
 

@@ -252,6 +252,8 @@ func (s *Scan) Next() (*colfile.Batch, error) {
 // predicate's columns are decoded and the program runs over that selection;
 // (3) the remaining projected columns are decoded only when at least one row
 // qualifies. Returns nil (no batch) when the whole group is filtered out.
+//
+//polaris:kernel the predicate program is position-aligned with its inputs, so pv lanes are read at the same physical positions the selection enumerates
 func (s *Scan) readGroupPushdown(g, groupRows int, base uint32) (*colfile.Batch, error) {
 	var sel []int
 	dv := s.files[s.fileIdx].DV
@@ -384,6 +386,8 @@ type Filter struct {
 func (f *Filter) Schema() colfile.Schema { return f.In.Schema() }
 
 // Next implements Operator.
+//
+//polaris:kernel pv is position-aligned with the input batch, so its lanes are read at the physical positions Batch.Sel (or dense [0,n)) yields
 func (f *Filter) Next() (*colfile.Batch, error) {
 	for {
 		b, err := f.In.Next()
@@ -448,6 +452,8 @@ func (f *Filter) Next() (*colfile.Batch, error) {
 
 // nextScalar is the pre-vectorization filter body, kept as the fallback for
 // predicates the compiler cannot lower.
+//
+//polaris:kernel the batch is Materialized first, so logical row i is physical lane i
 func (f *Filter) nextScalar(b *colfile.Batch) (*colfile.Batch, error) {
 	for {
 		b = b.Materialize() // the scalar reference is defined over dense batches

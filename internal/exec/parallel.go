@@ -334,6 +334,8 @@ func (m *MergeAgg) Schema() colfile.Schema {
 }
 
 // Next implements Operator.
+//
+//polaris:kernel partial-state batches are produced dense by HashAgg (no Sel), so row index == physical lane
 func (m *MergeAgg) Next() (*colfile.Batch, error) {
 	if m.done {
 		return nil, nil
@@ -476,6 +478,8 @@ func (m *MergeAgg) concat() (*colfile.Batch, error) {
 // finalizePartial renders one aggregate's final value directly from its
 // partial-state columns at row r (value column at col; SUM/AVG carry a
 // non-NULL count at col+1).
+//
+//polaris:kernel partial-state batches are dense (no Sel), so r is already a physical lane
 func finalizePartial(k AggKind, b *colfile.Batch, col, r int) any {
 	v := b.Cols[col]
 	switch k {

@@ -7,6 +7,8 @@
 // The contract is documented in docs/VECTORIZATION.md.
 package exec
 
+//polaris:kernelfile compiled kernel programs copy lanes position-aligned under the kernel contract; sel translation happens at program boundaries
+
 import (
 	"errors"
 	"fmt"

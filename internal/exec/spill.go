@@ -655,6 +655,7 @@ func (sj *SpilledJoin) JoinBatches(probe []*colfile.Batch, leftKeys []int, leftS
 	for li, lb := range leaves {
 		nums := lb.Cols[rowNumIdx]
 		for r := 0; r < lb.NumRows(); r++ {
+			//polaris:kernel leaf batches come back dense from the spill reader, so r is a physical lane
 			refs = append(refs, ref{leaf: li, row: r, num: nums.Ints[r]})
 		}
 	}

@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// annRe matches a //polaris:<key> annotation comment. The reason — free
+// prose citing the invariant that makes the site safe — is everything after
+// the key.
+var annRe = regexp.MustCompile(`^//polaris:([a-z]+)(.*)$`)
+
+// annKeys maps each annotation key to the analyzers that consume it. A key
+// outside this table is a typo (reported by the annotations analyzer); a
+// key whose analyzers did not run on a package is exempt from the
+// stale-annotation check there.
+var annKeys = map[string][]string{
+	"nondet":     {"detmaporder", "nondetsource"},
+	"kernel":     {"selaware"},
+	"kernelfile": {"selaware"},
+	"spill":      {"spillcleanup"},
+	"ctx":        {"ctxboundary"},
+}
+
+type annotation struct {
+	key    string
+	reason string
+	pos    token.Position
+	used   bool
+}
+
+type annotations struct {
+	// byFileLine indexes site annotations by filename and line.
+	byFileLine map[string]map[int][]*annotation
+	all        []*annotation
+}
+
+func parseAnnotations(fset *token.FileSet, files []*ast.File) *annotations {
+	anns := &annotations{byFileLine: map[string]map[int][]*annotation{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := annRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				a := &annotation{
+					key:    m[1],
+					reason: strings.TrimSpace(m[2]),
+					pos:    fset.Position(c.Slash),
+				}
+				anns.all = append(anns.all, a)
+				lines := anns.byFileLine[a.pos.Filename]
+				if lines == nil {
+					lines = map[int][]*annotation{}
+					anns.byFileLine[a.pos.Filename] = lines
+				}
+				lines[a.pos.Line] = append(lines[a.pos.Line], a)
+			}
+		}
+	}
+	return anns
+}
+
+// suppressed reports (and marks used) an annotation with the given key on
+// the finding's line or the line directly above it.
+func (anns *annotations) suppressed(key string, pos token.Position) bool {
+	lines := anns.byFileLine[pos.Filename]
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, a := range lines[line] {
+			if a.key == key {
+				a.used = true
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// rangeSuppressed reports (and marks used) an annotation with the given key
+// on any line in [startLine, endLine] of the named file.
+func (anns *annotations) rangeSuppressed(key, filename string, startLine, endLine int) bool {
+	lines := anns.byFileLine[filename]
+	for line := startLine; line <= endLine; line++ {
+		for _, a := range lines[line] {
+			if a.key == key {
+				a.used = true
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// fileSuppressed reports (and marks used) a file-level annotation anywhere
+// in the named file.
+func (anns *annotations) fileSuppressed(key, filename string) bool {
+	for _, byLine := range anns.byFileLine[filename] {
+		for _, a := range byLine {
+			if a.key == key {
+				a.used = true
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Annotations checks the //polaris: annotation grammar itself: the key must
+// be a known escape hatch and the reason must be present (an annotation
+// without a cited invariant is unreviewable).
+var Annotations = &Analyzer{
+	Name: "annotations",
+	Doc:  "checks //polaris:<key> <reason> annotation grammar (known key, non-empty reason)",
+	Run: func(p *Pass) {
+		for _, a := range p.Pkg.anns.all {
+			if _, ok := annKeys[a.key]; !ok {
+				p.report(Diagnostic{Analyzer: p.Analyzer.Name, Pos: a.pos,
+					Message: "unknown annotation //polaris:" + a.key + " (known: ctx, kernel, kernelfile, nondet, spill)"})
+				a.used = true // don't double-report as stale
+				continue
+			}
+			if a.reason == "" {
+				p.report(Diagnostic{Analyzer: p.Analyzer.Name, Pos: a.pos,
+					Message: "annotation //polaris:" + a.key + " needs a reason citing the invariant that makes this site safe"})
+			}
+		}
+	},
+}
+
+// StaleAnnotations returns a finding for every annotation that suppressed
+// nothing, provided at least one analyzer consuming its key actually ran
+// (ran is the set of analyzer names executed on the package). Run it after
+// RunAnalyzers; a stale annotation means the escape hatch outlived the
+// hazard it justified.
+func StaleAnnotations(pkg *Package, ran map[string]bool) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range pkg.anns.all {
+		if a.used {
+			continue
+		}
+		consumed := false
+		for _, name := range annKeys[a.key] {
+			if ran[name] {
+				consumed = true
+			}
+		}
+		if !consumed {
+			continue
+		}
+		diags = append(diags, Diagnostic{Analyzer: "annotations", Pos: a.pos,
+			Message: "stale //polaris:" + a.key + " annotation: it suppresses no finding; remove it"})
+	}
+	SortDiagnostics(diags)
+	return diags
+}

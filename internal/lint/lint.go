@@ -1,0 +1,140 @@
+// Package lint is the analysis framework behind cmd/polarisvet: a small,
+// dependency-free re-implementation of the golang.org/x/tools go/analysis
+// vocabulary (Analyzer, Pass, diagnostics, golden tests) on top of the
+// standard library's go/ast and go/types.
+//
+// Each Analyzer in Registry mechanizes one of the repo's normative prose
+// contracts — the cross-DOP byte-identity determinism contract
+// (docs/ARCHITECTURE.md), the kernel/selection-vector aliasing rules
+// (docs/VECTORIZATION.md), and the spill-namespace cleanup invariant
+// (docs/DCP-QUERIES.md) — so a violation is caught at the AST level on
+// every `make lint`, before any runtime test runs. docs/LINT.md is the
+// user-facing catalog; cmd/doccheck keeps it in sync with Registry.
+//
+// Sites where an analyzer's conservative rule is wrong carry a
+// //polaris:<key> <reason> annotation (see docs/LINT.md for the grammar);
+// the reason must cite the invariant that makes the site safe, and stale
+// annotations (suppressing nothing) are themselves findings.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one finding, with its position already resolved.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name is the identifier used by -analyzers, diagnostics, and the
+	// docs/LINT.md catalog.
+	Name string
+	// Doc is a one-line description (shown by polarisvet -list).
+	Doc string
+	// AppliesTo restricts the analyzer to packages whose contract it
+	// encodes; nil means every package. The driver enforces it — tests
+	// (linttest) run analyzers directly on testdata packages.
+	AppliesTo func(pkgPath string) bool
+	Run       func(*Pass)
+}
+
+// Pass carries one analyzer's run over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	report   func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
+
+// ObjectOf returns the object an identifier uses or defines, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.Pkg.Info.Uses[id]; o != nil {
+		return o
+	}
+	return p.Pkg.Info.Defs[id]
+}
+
+// Suppressed reports whether a //polaris:<key> annotation covers pos (same
+// line or the line directly above). Call it only once a finding is certain:
+// a matching annotation is marked used, and annotations that never suppress
+// anything are reported as stale by StaleAnnotations.
+func (p *Pass) Suppressed(key string, pos token.Pos) bool {
+	return p.Pkg.anns.suppressed(key, p.Pkg.Fset.Position(pos))
+}
+
+// FileSuppressed reports whether the file containing pos carries a
+// file-level //polaris:<key> annotation anywhere (used by selaware's
+// kernel-file whitelist).
+func (p *Pass) FileSuppressed(pos token.Pos, key string) bool {
+	return p.Pkg.anns.fileSuppressed(key, p.Pkg.Fset.Position(pos).Filename)
+}
+
+// FuncSuppressed reports whether a //polaris:<key> annotation in decl's doc
+// comment (or on the line directly above the func keyword) covers the whole
+// function. Like Suppressed, a match is marked used.
+func (p *Pass) FuncSuppressed(key string, decl *ast.FuncDecl) bool {
+	funcLine := p.Pkg.Fset.Position(decl.Pos()).Line
+	start := funcLine - 1
+	if decl.Doc != nil {
+		start = p.Pkg.Fset.Position(decl.Doc.Pos()).Line
+	}
+	filename := p.Pkg.Fset.Position(decl.Pos()).Filename
+	return p.Pkg.anns.rangeSuppressed(key, filename, start, funcLine)
+}
+
+// RunAnalyzers runs each analyzer over pkg (ignoring AppliesTo — scoping is
+// the caller's job) and returns the findings in position order.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Pkg: pkg, report: func(d Diagnostic) {
+			diags = append(diags, d)
+		}}
+		a.Run(pass)
+	}
+	SortDiagnostics(diags)
+	return diags
+}
+
+// SortDiagnostics orders findings by file, line, column, analyzer, message.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}

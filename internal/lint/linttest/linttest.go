@@ -1,0 +1,110 @@
+// Package linttest is the golden-test harness for internal/lint analyzers,
+// modeled on golang.org/x/tools' analysistest: a testdata package is loaded
+// with lint.Load, the analyzers under test (plus the stale-annotation check)
+// run over it, and every finding must be claimed by a `// want "regex"`
+// comment on the same line — and every want comment must claim a finding.
+//
+// Want syntax: one comment containing `want` followed by one or more
+// quoted regular expressions (double- or back-quoted), each matched against
+// a finding's message on that line. When the finding sits on a line that is
+// itself a comment (an annotation-grammar finding, say), use a block
+// comment form:
+//
+//	/* want "stale" */ //polaris:nondet leftover reason
+package linttest
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"polaris/internal/lint"
+)
+
+var quotedRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"|` + "`([^`]*)`")
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the single package at dir (relative to the test's working
+// directory), runs the analyzers and the stale-annotation check over it,
+// and fails the test on any mismatch between findings and want comments.
+func Run(t *testing.T, dir string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	pkgs, err := lint.Load(dir)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("load %s: got %d packages, want 1", dir, len(pkgs))
+	}
+	pkg := pkgs[0]
+
+	wants := collectWants(t, pkg)
+	diags := lint.RunAnalyzers(pkg, analyzers)
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	diags = append(diags, lint.StaleAnnotations(pkg, ran)...)
+
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no finding matched want %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// claim marks the first unmatched want on the finding's line whose regex
+// matches the message.
+func claim(wants []*want, d lint.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func collectWants(t *testing.T, pkg *lint.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSuffix(strings.TrimPrefix(c.Text, "/*"), "*/")
+				text = strings.TrimSpace(strings.TrimPrefix(text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Slash)
+				ms := quotedRe.FindAllStringSubmatch(text, -1)
+				if len(ms) == 0 {
+					t.Fatalf("%s:%d: want comment with no quoted regex", pos.Filename, pos.Line)
+				}
+				for _, m := range ms {
+					expr := m[1]
+					if m[2] != "" {
+						expr = m[2]
+					}
+					re, err := regexp.Compile(expr)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regex %q: %v", pos.Filename, pos.Line, expr, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NondetSource bans ambient non-determinism inside the deterministic
+// packages: wall-clock reads (time.Now and its derivatives), the unseeded
+// process-global math/rand generators, and environment lookups. Any of
+// them silently varies output across runs and across DOP re-executions, so
+// a retried DCP task could produce different bytes than its first attempt.
+// Sites that provably cannot reach contract-covered output carry a
+// //polaris:nondet <reason> annotation.
+var NondetSource = &Analyzer{
+	Name:      "nondetsource",
+	Doc:       "bans time.Now, unseeded math/rand, and os.Getenv in deterministic packages",
+	AppliesTo: inPkgs(DeterministicPackages...),
+	Run:       runNondetSource,
+}
+
+// bannedFuncs maps package path -> function name -> reason fragment. An
+// empty name set means every package-level function is banned.
+var bannedFuncs = map[string]map[string]string{
+	"time": {
+		"Now":   "wall-clock reads vary per run",
+		"Since": "wall-clock reads vary per run",
+		"Until": "wall-clock reads vary per run",
+	},
+	"os": {
+		"Getenv":    "environment lookups vary per host",
+		"LookupEnv": "environment lookups vary per host",
+		"Environ":   "environment lookups vary per host",
+	},
+	"math/rand":    nil, // all package-level funcs: process-global unseeded source
+	"math/rand/v2": nil,
+}
+
+func runNondetSource(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.ObjectOf(sel.Sel).(*types.Func)
+			if !ok {
+				return true
+			}
+			names, banned := bannedFuncs[funcPkgPath(fn)]
+			if !banned {
+				return true
+			}
+			if fn.Type().(*types.Signature).Recv() != nil {
+				// Methods (e.g. on a seeded *rand.Rand) are fine: the caller
+				// owns the seed.
+				return true
+			}
+			reason, listed := names[fn.Name()]
+			if names != nil && !listed {
+				return true
+			}
+			if reason == "" {
+				reason = "the process-global generator is unseeded"
+			}
+			if p.Suppressed("nondet", sel.Pos()) {
+				return true
+			}
+			p.Reportf(sel.Pos(), "%s.%s in a deterministic package: %s; thread the value in from the caller or annotate //polaris:nondet <reason> (docs/LINT.md)",
+				funcPkgPath(fn), fn.Name(), reason)
+			return true
+		})
+	}
+}

@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// vecDataFields are colfile.Vec's physical lane arrays. Indexing them with
+// a raw integer reads a physical row, which is wrong whenever the owning
+// Batch carries a selection vector (docs/VECTORIZATION.md): logical row i
+// lives at physical position Sel[i].
+var vecDataFields = map[string]bool{
+	"Ints": true, "Floats": true, "Strs": true, "Bools": true, "Nulls": true,
+}
+
+// SelAware enforces the selection-vector contract outside the kernel layer:
+// code must go through Batch.Row, the typed kernels, or Materialize()
+// rather than indexing or ranging over Vec's data arrays directly. The
+// kernel layer itself — files that legitimately operate on physical lanes
+// behind a Sel-translation boundary — is whitelisted with a file-level
+// //polaris:kernelfile <reason> annotation; a //polaris:kernel <reason> in a
+// function's doc comment whitelists that function, and one on a statement
+// line whitelists the single site.
+var SelAware = &Analyzer{
+	Name: "selaware",
+	Doc:  "flags raw Vec lane indexing outside the kernel whitelist (selection-vector contract)",
+	AppliesTo: inPkgs(
+		"polaris/internal/exec",
+		"polaris/internal/sql",
+		"polaris/internal/dcp",
+		"polaris/internal/server",
+	),
+	Run: runSelAware,
+}
+
+func runSelAware(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		if p.FileSuppressed(f.Pos(), "kernelfile") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && p.FuncSuppressed("kernel", fd) {
+				continue
+			}
+			checkSelDecl(p, decl)
+		}
+	}
+}
+
+func checkSelDecl(p *Pass, decl ast.Decl) {
+	ast.Inspect(decl, func(n ast.Node) bool {
+		var target ast.Expr
+		switch n := n.(type) {
+		case *ast.IndexExpr:
+			target = n.X
+		case *ast.RangeStmt:
+			target = n.X
+		case *ast.SliceExpr:
+			target = n.X
+		default:
+			return true
+		}
+		field := vecDataField(p, target)
+		if field == "" {
+			return true
+		}
+		if p.Suppressed("kernel", n.Pos()) {
+			return true
+		}
+		p.Reportf(n.Pos(), "raw access to Vec.%s bypasses the selection vector: use Batch.Row/kernels/Materialize, or annotate //polaris:kernel <reason> (docs/VECTORIZATION.md)", field)
+		return true
+	})
+}
+
+// vecDataField returns the lane-array field name if e selects one of
+// colfile.Vec's data arrays, else "".
+func vecDataField(p *Pass, e ast.Expr) string {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	selection, ok := p.Pkg.Info.Selections[sel]
+	if !ok {
+		return ""
+	}
+	field := selection.Obj()
+	if !vecDataFields[field.Name()] {
+		return ""
+	}
+	named := derefNamed(selection.Recv())
+	if named == nil || named.Obj().Name() != "Vec" {
+		return ""
+	}
+	if pkg := named.Obj().Pkg(); pkg == nil || !hasPkgSuffix(pkg.Path(), "internal/colfile") {
+		return ""
+	}
+	return field.Name()
+}

@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SpillCleanup enforces the zero-leaked-blobs invariant
+// (docs/DCP-QUERIES.md): every objectstore.SpillDir acquisition
+// (objectstore.NewSpillDir or core.Txn.NewSpillDir) must either be cleaned
+// up in the acquiring function — a call or defer reaching .Cleanup(),
+// possibly inside a closure — or transfer ownership somewhere trackable
+// (returned, stored in a field or composite literal, passed to another
+// function). A SpillDir bound to a local that is neither cleaned nor
+// escapes is a leak on every path; a discarded result can never be cleaned
+// at all. //polaris:spill <reason> escapes sites with out-of-band
+// ownership.
+var SpillCleanup = &Analyzer{
+	Name: "spillcleanup",
+	Doc:  "every SpillDir acquisition needs a reachable Cleanup or an ownership transfer",
+	Run:  runSpillCleanup,
+}
+
+func runSpillCleanup(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		forEachFunc(f, func(_ *ast.FuncType, body *ast.BlockStmt) {
+			inspectStack(body, func(n ast.Node, stack []ast.Node) {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isSpillDirAcquisition(p, call) {
+					return
+				}
+				if ok, obj := acquisitionHandled(p, body, call, stack); !ok {
+					if p.Suppressed("spill", call.Pos()) {
+						return
+					}
+					what := "the acquired SpillDir is discarded"
+					if obj != nil {
+						what = obj.Name() + " is neither cleaned up nor handed off"
+					}
+					p.Reportf(call.Pos(), "SpillDir acquired without a reachable Cleanup: %s; defer .Cleanup(), transfer ownership, or annotate //polaris:spill <reason> (docs/DCP-QUERIES.md)", what)
+				}
+			})
+		})
+	}
+}
+
+// isSpillDirAcquisition matches calls to a function or method named
+// NewSpillDir defined in internal/objectstore or internal/core.
+func isSpillDirAcquisition(p *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(p, call)
+	if fn == nil || fn.Name() != "NewSpillDir" {
+		return false
+	}
+	path := funcPkgPath(fn)
+	return hasPkgSuffix(path, "internal/objectstore") || hasPkgSuffix(path, "internal/core")
+}
+
+// acquisitionHandled classifies the acquisition site by its parent: an
+// escape (field store, composite literal, call argument, return) transfers
+// ownership; a local binding demands a Cleanup reference or a later escape
+// of that local. It returns the bound local (if any) for the message.
+func acquisitionHandled(p *Pass, body *ast.BlockStmt, call *ast.CallExpr, stack []ast.Node) (bool, types.Object) {
+	parent := parentNonParen(stack)
+	switch parent := parent.(type) {
+	case *ast.AssignStmt:
+		// Find which LHS receives the call's value.
+		for i, rhs := range parent.Rhs {
+			if ast.Unparen(rhs) != call {
+				continue
+			}
+			if i >= len(parent.Lhs) {
+				break
+			}
+			switch lhs := ast.Unparen(parent.Lhs[i]).(type) {
+			case *ast.Ident:
+				if lhs.Name == "_" {
+					return false, nil // deliberately discarded: always a leak
+				}
+				obj := p.ObjectOf(lhs)
+				if obj == nil {
+					return true, nil
+				}
+				return localCleanedOrEscapes(p, body, obj, parent), obj
+			default:
+				// Field or index store: ownership lives in the structure.
+				return true, nil
+			}
+		}
+		return true, nil
+	case *ast.ExprStmt:
+		return false, nil // result discarded
+	default:
+		// Composite literal element, call argument, return value, var init:
+		// ownership transfers with the value.
+		return true, nil
+	}
+}
+
+func parentNonParen(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			continue
+		}
+		return stack[i]
+	}
+	return nil
+}
+
+// localCleanedOrEscapes scans the function body after the binding for a
+// .Cleanup reference on obj (call or defer, closures included) or an
+// ownership transfer of obj (argument, return, store into a field, index,
+// composite literal, channel, or another variable).
+func localCleanedOrEscapes(p *Pass, body *ast.BlockStmt, obj types.Object, after ast.Node) bool {
+	handled := false
+	inspectStack(body, func(n ast.Node, stack []ast.Node) {
+		if handled {
+			return
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || p.ObjectOf(id) != obj || id.Pos() < after.End() {
+			return
+		}
+		parent := parentNonParen(stack)
+		switch parent := parent.(type) {
+		case *ast.SelectorExpr:
+			if parent.X == id && parent.Sel.Name == "Cleanup" {
+				handled = true
+			}
+		case *ast.CallExpr:
+			for _, arg := range parent.Args {
+				if ast.Unparen(arg) == id {
+					handled = true // ownership passed along
+				}
+			}
+		case *ast.ReturnStmt, *ast.CompositeLit, *ast.KeyValueExpr, *ast.SendStmt:
+			handled = true
+		case *ast.AssignStmt:
+			for _, rhs := range parent.Rhs {
+				if ast.Unparen(rhs) == id {
+					handled = true // re-bound: the new binding owns it
+				}
+			}
+		case *ast.UnaryExpr:
+			handled = true // &dir: aliased, assume the alias owns it
+		}
+	})
+	return handled
+}

@@ -1,0 +1,13 @@
+// Package annotations exercises the annotation-grammar analyzer: unknown
+// keys and missing reasons are findings; a well-formed annotation is not
+// (its staleness is a separate check, covered by testdata/src/stale).
+package annotations
+
+/* want "unknown annotation" */ //polaris:frobnicate not a real escape hatch
+
+/* want "needs a reason" */ //polaris:nondet
+
+//polaris:nondet well-formed: key known, reason present
+
+// Placeholder keeps the package non-empty.
+func Placeholder() {}

@@ -1,0 +1,43 @@
+// Package clean must produce zero findings under every analyzer in the
+// registry: the golden suite's negative control.
+package clean
+
+import (
+	"context"
+	"sort"
+	"sync"
+)
+
+// SortedValues is the blessed deterministic-iteration idiom.
+func SortedValues(m map[string]int) []int {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// WithDeadline derives and releases a context correctly.
+func WithDeadline(ctx context.Context, fn func(context.Context) error) error {
+	c, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return fn(c)
+}
+
+// Counter keeps its mutex behind a pointer receiver.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Add increments under the lock.
+func (c *Counter) Add(d int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += d
+}

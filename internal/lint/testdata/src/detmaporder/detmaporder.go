@@ -1,0 +1,96 @@
+// Package detmaporder exercises the detmaporder analyzer: positive
+// findings, the //polaris:nondet escape, and every safe idiom the analyzer
+// must accept without an annotation.
+package detmaporder
+
+import "sort"
+
+// Emit leaks map iteration order into a slice: flagged.
+func Emit(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want "map iteration order is non-deterministic"
+		out = append(out, v)
+	}
+	return out
+}
+
+// First returns an arbitrary element: flagged (the early return is not a
+// constant, so this is not a pure existential scan).
+func First(m map[string]int) (string, bool) {
+	for k := range m { // want "map iteration order is non-deterministic"
+		return k, true
+	}
+	return "", false
+}
+
+// CollectSorted is the blessed idiom: collect keys, sort, then use.
+func CollectSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// CollectFiltered collects under a filter before sorting: still safe.
+func CollectFiltered(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k, v := range m {
+		if v > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// PerKey writes only map entries keyed by the range key: order-insensitive.
+func PerKey(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// Sum accumulates an integer commutatively: order-insensitive.
+func Sum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Has is a pure existential scan returning constants: order-insensitive.
+func Has(m map[string]int, target int) bool {
+	for _, v := range m {
+		if v == target {
+			return true
+		}
+	}
+	return false
+}
+
+// Prune deletes entries in place: deletion is idempotent per entry.
+func Prune(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// MinVal folds a minimum. The fold is order-independent but beyond the
+// analyzer's conservative shapes, so it carries the annotation escape.
+func MinVal(m map[string]int) int {
+	best := int(^uint(0) >> 1)
+	//polaris:nondet min fold: the minimum is the same whatever order values arrive in
+	for _, v := range m {
+		if v < best {
+			best = v
+		}
+	}
+	return best
+}

@@ -1,0 +1,16 @@
+// Package exec simulates an injected determinism regression in a package
+// the driver scopes detmaporder to (its import path ends in internal/exec,
+// and inPkgs matches by suffix): cmd/polarisvet must exit non-zero on it.
+// This is the end-to-end pin for the unsorted-map-iteration acceptance
+// case; the per-analyzer golden coverage lives in the sibling testdata
+// packages.
+package exec
+
+// Broken leaks map iteration order into its output.
+func Broken(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,37 @@
+// Package nondetsource exercises the nondetsource analyzer: banned ambient
+// sources, the seeded-generator exemption, and the annotation escape.
+package nondetsource
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Stamp reads the wall clock: flagged.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now in a deterministic package`
+}
+
+// Pick uses the process-global unseeded generator: flagged.
+func Pick(n int) int {
+	return rand.Intn(n) // want `math/rand\.Intn in a deterministic package`
+}
+
+// Env reads the environment: flagged.
+func Env() string {
+	v, _ := os.LookupEnv("POLARIS_SEED") // want `os\.LookupEnv in a deterministic package`
+	return v
+}
+
+// Seeded draws from a caller-owned generator: methods are exempt because
+// the caller controls the seed.
+func Seeded(r *rand.Rand) int {
+	return r.Intn(10)
+}
+
+// Jitter is annotated: the value never reaches contract-covered output.
+func Jitter() time.Duration {
+	//polaris:nondet retry jitter is consumed by the scheduler and never reaches query output
+	return time.Duration(rand.Int63n(1000))
+}

@@ -1,0 +1,51 @@
+// Package selaware exercises the selaware analyzer: raw lane access in its
+// three syntactic forms, the logical accessors it must accept, and the
+// site- and function-level //polaris:kernel escapes. kernelfile.go covers
+// the file-level escape.
+package selaware
+
+import "polaris/internal/colfile"
+
+// RawIndex indexes a lane array directly: flagged.
+func RawIndex(v *colfile.Vec, i int) int64 {
+	return v.Ints[i] // want `raw access to Vec\.Ints`
+}
+
+// RawRange ranges over a lane array directly: flagged.
+func RawRange(v *colfile.Vec) int64 {
+	var n int64
+	for _, x := range v.Ints { // want `raw access to Vec\.Ints`
+		n += x
+	}
+	return n
+}
+
+// RawSlice reslices a lane array directly: flagged.
+func RawSlice(v *colfile.Vec) []float64 {
+	return v.Floats[:2] // want `raw access to Vec\.Floats`
+}
+
+// Logical goes through Batch.RowIdx and Vec.Value: not flagged.
+func Logical(b *colfile.Batch, c, i int) any {
+	return b.Cols[c].Value(b.RowIdx(i))
+}
+
+// SiteEscape reads a lane at a position it just translated; the single
+// site carries the annotation.
+func SiteEscape(b *colfile.Batch, c, i int) int64 {
+	phys := b.RowIdx(i)
+	//polaris:kernel phys was translated through the selection by RowIdx above
+	return b.Cols[c].Ints[phys]
+}
+
+// FuncEscape sums dense lanes; the whole function is whitelisted by the
+// annotation in its doc comment.
+//
+//polaris:kernel callers pass only dense vectors (no selection), so lane position equals logical row
+func FuncEscape(v *colfile.Vec) int64 {
+	var n int64
+	for _, x := range v.Ints {
+		n += x
+	}
+	return n
+}

@@ -1,0 +1,45 @@
+// Package spillcleanup exercises the spillcleanup analyzer: leaked and
+// discarded acquisitions, the cleanup and ownership-transfer shapes it must
+// accept, and the //polaris:spill escape.
+package spillcleanup
+
+import "polaris/internal/objectstore"
+
+// Leak binds a SpillDir that is neither cleaned nor handed off: flagged.
+func Leak(s *objectstore.Store) string {
+	d := objectstore.NewSpillDir(s, "q1") // want "d is neither cleaned up nor handed off"
+	return d.Prefix()
+}
+
+// Discard throws the acquisition away: flagged (it can never be cleaned).
+func Discard(s *objectstore.Store) {
+	objectstore.NewSpillDir(s, "q2") // want "the acquired SpillDir is discarded"
+}
+
+// Cleaned defers the cleanup: the canonical shape.
+func Cleaned(s *objectstore.Store) error {
+	d := objectstore.NewSpillDir(s, "q3")
+	defer d.Cleanup()
+	return d.Put("part-0", nil)
+}
+
+// Handoff returns the acquisition: ownership transfers with the value.
+func Handoff(s *objectstore.Store) *objectstore.SpillDir {
+	return objectstore.NewSpillDir(s, "q4")
+}
+
+// Passed hands the acquisition to another function that owns it.
+func Passed(s *objectstore.Store) {
+	d := objectstore.NewSpillDir(s, "q5")
+	adopt(d)
+}
+
+func adopt(d *objectstore.SpillDir) {
+	defer d.Cleanup()
+}
+
+// Tracked is annotated: cleanup happens through out-of-band ownership.
+func Tracked(s *objectstore.Store) {
+	//polaris:spill the test registry sweeps every q6 prefix after the run
+	objectstore.NewSpillDir(s, "q6")
+}

@@ -1,0 +1,24 @@
+// Package stale exercises the stale-annotation check: an annotation that
+// suppresses a live finding is fine; one on a loop the analyzer already
+// accepts has outlived its hazard and is itself a finding.
+package stale
+
+// First genuinely needs its escape: the annotation is used, not stale.
+func First(m map[string]int) string {
+	//polaris:nondet callers treat the result as a sampling hint, never as output
+	for k := range m {
+		return k
+	}
+	return ""
+}
+
+// Sum is accepted by detmaporder on its own (commutative integer
+// accumulation), so the annotation suppresses nothing.
+func Sum(m map[string]int) int {
+	n := 0
+	/* want "stale" */ //polaris:nondet integer accumulation commutes
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// forEachFunc calls fn once per function body in the file: every FuncDecl
+// and every FuncLit, innermost bodies included. fnType is the syntactic
+// signature (for parameter checks); it is the FuncDecl's Type or the
+// FuncLit's Type.
+func forEachFunc(f *ast.File, fn func(ftype *ast.FuncType, body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				fn(n.Type, n.Body)
+			}
+		case *ast.FuncLit:
+			fn(n.Type, n.Body)
+		}
+		return true
+	})
+}
+
+// inspectShallow walks n but does not descend into nested function
+// literals: their bodies run on their own schedule, so statement-level
+// analyses treat them as separate functions (forEachFunc visits them).
+func inspectShallow(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// inspectStack walks n calling fn with the path of ancestors (outermost
+// first, not including n itself).
+func inspectStack(n ast.Node, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(n, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// calleeFunc resolves the static callee of a call, or nil (builtin calls,
+// conversions, and calls through function values resolve to nil).
+func calleeFunc(p *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+// funcPkgPath returns the import path of the function's defining package
+// ("" for builtins and method expressions on unnamed types).
+func funcPkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// hasPkgSuffix matches an import path against a repo-relative package
+// identity, so "polaris/internal/colfile" matches "internal/colfile" from
+// both real packages and testdata packages that import the real one.
+func hasPkgSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// derefNamed unwraps pointers and returns the named type, or nil.
+func derefNamed(t types.Type) *types.Named {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// isBuiltinCall reports whether the call invokes the named builtin.
+func isBuiltinCall(p *Pass, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = p.ObjectOf(id).(*types.Builtin)
+	return ok
+}
+
+// isConversionOrBuiltin reports whether the call is a type conversion or
+// any builtin (len, cap, string(...), min, ...): calls with no side
+// effects relevant to iteration order.
+func isConversionOrBuiltin(p *Pass, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch p.ObjectOf(fun).(type) {
+		case *types.Builtin, *types.TypeName:
+			return true
+		}
+	case *ast.SelectorExpr:
+		if _, ok := p.ObjectOf(fun.Sel).(*types.TypeName); ok {
+			return true
+		}
+	case *ast.ArrayType, *ast.MapType, *ast.StarExpr, *ast.InterfaceType, *ast.FuncType, *ast.ChanType:
+		return true
+	}
+	return false
+}

@@ -208,6 +208,7 @@ func (s *TableState) LiveFiles() []*FileEntry {
 // TotalRows returns the number of visible rows across live files.
 func (s *TableState) TotalRows() int64 {
 	var n int64
+	//polaris:nondet LiveRows is a pure accessor and integer addition commutes, so file order cannot change the sum
 	for _, f := range s.Files {
 		n += f.LiveRows()
 	}

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -176,9 +177,14 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 
 	s.mu.Lock()
-	open := make([]*session, 0, len(s.sessions))
-	for _, ss := range s.sessions {
-		open = append(open, ss)
+	ids := make([]string, 0, len(s.sessions))
+	for id := range s.sessions {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	open := make([]*session, 0, len(ids))
+	for _, id := range ids {
+		open = append(open, s.sessions[id])
 	}
 	s.sessions = make(map[string]*session)
 	s.mu.Unlock()

@@ -1,0 +1,42 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"testing"
+)
+
+// TestMetricsDocumentStableAcrossScrapes pins /metrics as a pure render of
+// server state: after a fixed workload, consecutive scrapes with no
+// intervening traffic must return byte-identical JSON. Any map-order leak
+// in assembling the document — session gauges, pool gauges, the
+// recent-query ring — shows up here as a flickering byte diff. This is a
+// determinism regression test over a fixed workload, not a fuzz target.
+func TestMetricsDocumentStableAcrossScrapes(t *testing.T) {
+	e := newEnv(t, tinyFabric(4), Config{})
+	// Two live sessions plus anonymous statements, so the document carries
+	// session state, cumulative counters, and a multi-entry query ring.
+	s1 := e.createSession()
+	s2 := e.createSession()
+	e.query(s1, "CREATE TABLE stab (k INT, v INT) WITH (DISTRIBUTION = k)")
+	e.query(s1, "INSERT INTO stab VALUES (1, 10), (2, 20), (3, 30)")
+	e.query(s2, "SELECT SUM(v) FROM stab WHERE k > 0")
+	e.query("", "SELECT COUNT(*) FROM stab")
+
+	code, first := e.get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: HTTP %d: %s", code, first)
+	}
+	if len(first) == 0 {
+		t.Fatal("metrics: empty document")
+	}
+	for i := 0; i < 10; i++ {
+		code, again := e.get("/metrics")
+		if code != http.StatusOK {
+			t.Fatalf("scrape %d: HTTP %d", i, code)
+		}
+		if !bytes.Equal(first, again) {
+			t.Fatalf("scrape %d drifted with no intervening traffic\nfirst: %s\nnow:   %s", i, first, again)
+		}
+	}
+}

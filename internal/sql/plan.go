@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"sort"
 	"strings"
 	"time"
 
@@ -338,15 +339,28 @@ func prunableRange(where Expr, meta catalog.TableMeta, alias string) *exec.Prune
 		return nil
 	}
 	walk(where)
+	// Pick the lexicographically first bounded column so the same WHERE
+	// clause always yields the same hint (and the same EXPLAIN), whatever
+	// order the bounds were recorded in.
+	loCols := make([]string, 0, len(lo))
 	for col := range lo {
+		loCols = append(loCols, col)
+	}
+	sort.Strings(loCols)
+	for _, col := range loCols {
 		h := int64(1<<62 - 1)
 		if v, ok := hi[col]; ok {
 			h = v
 		}
 		return &exec.PruneHint{Col: col, Lo: lo[col], Hi: h}
 	}
-	for col, v := range hi {
-		return &exec.PruneHint{Col: col, Lo: -(1 << 62), Hi: v}
+	hiCols := make([]string, 0, len(hi))
+	for col := range hi {
+		hiCols = append(hiCols, col)
+	}
+	sort.Strings(hiCols)
+	for _, col := range hiCols {
+		return &exec.PruneHint{Col: col, Lo: -(1 << 62), Hi: hi[col]}
 	}
 	return nil
 }
@@ -1528,9 +1542,16 @@ func runUpdate(tx *core.Txn, st *UpdateStmt) (*Result, error) {
 		return nil, err
 	}
 	sc := tableScope(meta)
+	// Bind SET expressions in column order so a statement with two bad
+	// assignments reports the same error every run.
+	setCols := make([]string, 0, len(st.Set))
+	for col := range st.Set {
+		setCols = append(setCols, col)
+	}
+	sort.Strings(setCols)
 	set := make(map[string]exec.Expr, len(st.Set))
-	for col, e := range st.Set {
-		bound, err := bind(e, sc)
+	for _, col := range setCols {
+		bound, err := bind(st.Set[col], sc)
 		if err != nil {
 			return nil, err
 		}

@@ -197,6 +197,7 @@ func (p *physPlan) ownerOf(c ColName) string {
 		return ""
 	}
 	owner := ""
+	//polaris:nondet unique-or-empty fold: one match yields that alias, two yield "" whichever is seen first
 	for a, t := range p.tables {
 		if schemaHas(t.meta.Schema, c.Name) {
 			if owner != "" {
@@ -490,6 +491,7 @@ func (p *physPlan) chooseProjection() {
 			}
 			return
 		}
+		//polaris:nondet mark only inserts into the per-alias need set keyed by the range key; set inserts commute
 		for a, t := range p.tables {
 			if schemaHas(t.meta.Schema, c.Name) {
 				mark(a)
@@ -508,6 +510,7 @@ func (p *physPlan) chooseProjection() {
 	if st.Where != nil {
 		walkCols(st.Where, addCol)
 	}
+	//polaris:nondet addCol only accumulates per-alias need/full sets; which conjunct marks a column first is immaterial
 	for _, cs := range p.pushed {
 		for _, c := range cs {
 			walkCols(c, addCol)
@@ -525,6 +528,7 @@ func (p *physPlan) chooseProjection() {
 	for _, o := range st.OrderBy {
 		walkCols(o.Expr, addCol)
 	}
+	//polaris:nondet each iteration writes only scanCols[a] for its own range key; list is rebuilt per alias in schema order
 	for a, t := range p.tables {
 		if full[a] {
 			continue
